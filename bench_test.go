@@ -1,0 +1,227 @@
+package icc
+
+// Benchmark harness: one testing.B benchmark per evaluation artifact
+// (DESIGN.md §3, EXPERIMENTS.md). Each benchmark executes the
+// corresponding experiment at a reduced Scale so `go test -bench=.`
+// finishes in minutes, and reports the experiment's headline quantities
+// as custom metrics. Full-scale tables are produced by `cmd/iccbench`.
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"icc/internal/experiments"
+)
+
+// benchScale reads ICC_BENCH_SCALE (0 < s ≤ 1, default 0.1).
+func benchScale() experiments.Scale {
+	if v := os.Getenv("ICC_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			return experiments.Scale(f)
+		}
+	}
+	return 0.1
+}
+
+// cell parses a numeric table cell (with optional unit suffix handled by
+// time.ParseDuration) into a float64 metric value.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(s, "%")
+	if d, err := time.ParseDuration(s); err == nil && strings.IndexFunc(s, func(r rune) bool {
+		return r == 's' || r == 'm' || r == 'µ' || r == 'n'
+	}) >= 0 {
+		return float64(d) / float64(time.Millisecond)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return f
+}
+
+// BenchmarkTable1 regenerates paper §5 Table 1 (experiment E1): block
+// rate and per-node traffic for 13- and 40-node subnets under no load,
+// load, and load + 1/3 failures.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			// Row 0: 13 nodes, without load.
+			b.ReportMetric(cell(b, t.Rows[0][2]), "blocks/s-13n")
+			b.ReportMetric(cell(b, t.Rows[0][4]), "Mbps/node-13n")
+			b.ReportMetric(cell(b, t.Rows[3][2]), "blocks/s-40n")
+		}
+	}
+}
+
+// BenchmarkFigThroughputLatency verifies the §1 claims (experiment E2):
+// ICC0/ICC1 at 2δ reciprocal throughput and 3δ latency; ICC2 at 3δ/4δ.
+func BenchmarkFigThroughputLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.LatencyThroughput(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			// Second sweep point (δ=10ms): rows 3,4,5 = ICC0,1,2.
+			b.ReportMetric(cell(b, t.Rows[3][3]), "ICC0-round-x-delta")
+			b.ReportMetric(cell(b, t.Rows[3][5]), "ICC0-latency-x-delta")
+			b.ReportMetric(cell(b, t.Rows[5][3]), "ICC2-round-x-delta")
+			b.ReportMetric(cell(b, t.Rows[5][5]), "ICC2-latency-x-delta")
+		}
+	}
+}
+
+// BenchmarkFigMessageComplexity verifies O(n²) expected message
+// complexity in synchronous rounds (experiment E3).
+func BenchmarkFigMessageComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.MessageComplexity(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			first := cell(b, t.Rows[0][2])
+			last := cell(b, t.Rows[len(t.Rows)-1][2])
+			b.ReportMetric(first, "msgs/n2-smallest")
+			b.ReportMetric(last, "msgs/n2-largest")
+		}
+	}
+}
+
+// BenchmarkFigRoundComplexity verifies the O(1) expected rounds-to-commit
+// claim (experiment E4): the finalization-gap distribution is dominated
+// by gap 0 and decays geometrically.
+func BenchmarkFigRoundComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RoundComplexity(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[0][2]), "gap0-fraction")
+		}
+	}
+}
+
+// BenchmarkFigRobustness verifies graceful degradation under corrupt
+// leaders (experiment E5).
+func BenchmarkFigRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Robustness(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[len(t.Rows)-1][4]), "throughput-at-max-corruption-%")
+		}
+	}
+}
+
+// BenchmarkFigResponsiveness verifies optimistic responsiveness vs the
+// Tendermint baseline (experiment E6).
+func BenchmarkFigResponsiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Responsiveness(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[len(t.Rows)-1][1]), "ICC-round-ms-at-1s-bound")
+			b.ReportMetric(cell(b, t.Rows[len(t.Rows)-1][2]), "TM-round-ms-at-1s-bound")
+		}
+	}
+}
+
+// BenchmarkFigDissemination verifies ICC2's O(S) per-party dissemination
+// and the leader-bottleneck relief of ICC1/ICC2 (experiment E7).
+func BenchmarkFigDissemination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Dissemination(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			last := len(t.Rows) - 1
+			b.ReportMetric(cell(b, t.Rows[last-2][4]), "ICC0-max-bytes-per-S")
+			b.ReportMetric(cell(b, t.Rows[last][5]), "ICC2-mean-bytes-per-S")
+		}
+	}
+}
+
+// BenchmarkFigBaselines verifies the §1.1 cross-protocol comparison
+// (experiment E8).
+func BenchmarkFigBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Baselines(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[0][2]), "ICC0-latency-ms")
+			b.ReportMetric(cell(b, t.Rows[3][2]), "HotStuff-latency-ms")
+		}
+	}
+}
+
+// BenchmarkAblationDelays verifies the ε-governor and adaptive-Δbnd
+// design choices (experiment E9).
+func BenchmarkAblationDelays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationDelays(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[3][4]), "static-p99-ms")
+			b.ReportMetric(cell(b, t.Rows[4][4]), "adaptive-p99-ms")
+		}
+	}
+}
+
+// BenchmarkFigWeakAdaptive verifies the §1.1 weak-adaptive-adversary
+// comparison (experiment E10): a corruption lag of κ ≥ 2 rounds leaves
+// ICC untouched (leaders are beacon-drawn, revealed one round ahead),
+// while a public leader schedule lets the adversary collapse the
+// HotStuff baseline at any lag.
+func BenchmarkFigWeakAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.WeakAdaptiveAdversary(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[2][3]), "ICC-throughput-k1-%")
+			b.ReportMetric(cell(b, t.Rows[3][3]), "ICC-throughput-k2-%")
+			b.ReportMetric(cell(b, t.Rows[5][3]), "HotStuff-throughput-%")
+		}
+	}
+}
+
+// BenchmarkFigPBFTFragility verifies the robust-consensus comparison
+// ([15], experiment E11): a slow leader collapses PBFT's throughput but
+// only taxes its own rounds under ICC.
+func BenchmarkFigPBFTFragility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.PBFTFragility(benchScale())
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(cell(b, t.Rows[2][3]), "ICC-slow-leader-%")
+			b.ReportMetric(cell(b, t.Rows[5][3]), "PBFT-slow-leader-%")
+		}
+	}
+}
+
+// BenchmarkLocalClusterCommitRate measures the end-to-end facade: a
+// real-time 4-party in-process cluster with full threshold cryptography,
+// committing as fast as the wall clock allows.
+func BenchmarkLocalClusterCommitRate(b *testing.B) {
+	c, err := NewLocalCluster(4, WithDeltaBound(20*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if !c.WaitForCommits(1, 30*time.Second) {
+		b.Fatal("cluster did not start committing")
+	}
+	start := c.CommittedBlocks(0)
+	b.ResetTimer()
+	target := start + b.N
+	deadline := time.Now().Add(time.Duration(b.N) * 2 * time.Second)
+	for c.CommittedBlocks(0) < target && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	got := c.CommittedBlocks(0) - start
+	if got < b.N {
+		b.Fatalf("committed %d of %d blocks", got, b.N)
+	}
+}

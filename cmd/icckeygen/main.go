@@ -1,0 +1,59 @@
+// Command icckeygen acts as the trusted dealer of paper §3.1: it
+// generates the full key material for an n-party cluster and writes it
+// to a directory — public.json (shared by everyone) plus one
+// party<i>.json secret file per party — for consumption by cmd/iccnode.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"icc/internal/crypto/keys"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of parties")
+	dir := flag.String("dir", "icc-keys", "output directory")
+	flag.Parse()
+
+	if err := run(*n, *dir); err != nil {
+		fmt.Fprintf(os.Stderr, "icckeygen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		return fmt.Errorf("dealing keys: %w", err)
+	}
+	if err := writeJSON(filepath.Join(dir, "public.json"), pub, 0o644); err != nil {
+		return err
+	}
+	for i := range privs {
+		name := filepath.Join(dir, fmt.Sprintf("party%d.json", i))
+		if err := writeJSON(name, &privs[i], 0o600); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote key material for %d parties (t=%d tolerated faults) to %s/\n", n, pub.T, dir)
+	return nil
+}
+
+func writeJSON(path string, v interface{}, perm os.FileMode) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, raw, perm); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

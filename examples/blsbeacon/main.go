@@ -1,0 +1,81 @@
+// Blsbeacon: the paper's random beacon (§2.3) on the real thing — a
+// from-scratch BLS12-381 with threshold BLS signatures. Four parties
+// each hold a Shamir share of the beacon key; any t+1 = 2 of them
+// reconstruct each round's unique signature, every subset reconstructs
+// the *same* value (uniqueness), and fewer than t+1 reconstruct nothing.
+// The resulting digests drive the same rank permutation the consensus
+// engines use.
+//
+//	go run ./examples/blsbeacon   (pairings are big.Int-slow: ~2 min)
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"icc/internal/beacon"
+	"icc/internal/crypto/bls"
+	"icc/internal/types"
+)
+
+const n = 4
+
+func main() {
+	fmt.Println("dealing a (t, t+1, n) = (1, 2, 4) threshold-BLS beacon key...")
+	pub, keys, err := bls.DealThreshold(rand.Reader, types.BeaconQuorum(n), n)
+	if err != nil {
+		log.Fatalf("dealing: %v", err)
+	}
+	beacons := make([]*beacon.BLS, n)
+	for i := 0; i < n; i++ {
+		beacons[i] = beacon.NewBLS(pub, keys[i], types.PartyID(i), []byte("example genesis"))
+	}
+
+	for round := types.Round(1); round <= 3; round++ {
+		start := time.Now()
+		// Every party signs its share of R_round.
+		shares := make([]*types.BeaconShare, n)
+		for i, b := range beacons {
+			s, err := b.ShareForRound(round)
+			if err != nil {
+				log.Fatalf("party %d share: %v", i, err)
+			}
+			shares[i] = s
+		}
+		// Party 3 tries with a single share: must fail (unpredictability:
+		// t corrupt parties alone can never learn the next beacon).
+		if err := beacons[3].AddShare(shares[0]); err != nil {
+			log.Fatal(err)
+		}
+		if _, ok := beacons[3].Reveal(round); ok {
+			log.Fatal("revealed with 1 < t+1 shares?!")
+		}
+		// Different parties combine different share subsets...
+		subsets := [][]int{{0, 1}, {2, 3}, {1, 2}, {0, 3}}
+		var ref string
+		for i, b := range beacons {
+			for _, idx := range subsets[i] {
+				if err := b.AddShare(shares[idx]); err != nil {
+					log.Fatal(err)
+				}
+			}
+			d, ok := b.Reveal(round)
+			if !ok {
+				log.Fatalf("party %d failed to reveal round %d", i, round)
+			}
+			// ...and all arrive at the identical unique value.
+			if i == 0 {
+				ref = d.Short()
+			} else if d.Short() != ref {
+				log.Fatalf("uniqueness violated: party %d got %s, want %s", i, d.Short(), ref)
+			}
+		}
+		perm, _ := beacons[0].Permutation(round)
+		leader, _ := beacons[0].Leader(round)
+		fmt.Printf("round %d: R = %s…, ranking %v, leader P%d (pairing-verified, %v)\n",
+			round, ref, perm, leader, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nevery subset of 2 shares produced the same beacon value — unique threshold signatures at work")
+}

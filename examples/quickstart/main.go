@@ -1,0 +1,78 @@
+// Quickstart: run a 4-party Internet Computer Consensus cluster inside
+// one process, submit a few key-value commands, and watch every replica
+// commit the same chain and converge to the same state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"icc"
+)
+
+func main() {
+	// Four parties tolerate t = 1 Byzantine fault (t < n/3).
+	cluster, err := icc.NewLocalCluster(4, icc.WithDeltaBound(50*time.Millisecond))
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+	var blocks atomic.Int64
+	cluster.OnCommit(func(ev icc.CommitEvent) {
+		if ev.Party == 0 && len(ev.Payload) > 0 {
+			fmt.Printf("party 0 committed round %d with %d payload bytes\n", ev.Round, len(ev.Payload))
+		}
+		blocks.Add(1)
+	})
+	cluster.Start()
+	defer cluster.Stop()
+
+	// Submit commands to different parties — atomic broadcast orders
+	// them identically everywhere. Each command uses its own client ID:
+	// (Client, Seq) pairs are applied in per-client sequence order, so a
+	// single client must funnel its commands through one replica to keep
+	// them ordered; independent clients are free to use any replica.
+	fmt.Println("submitting 5 commands...")
+	for i := uint64(1); i <= 5; i++ {
+		party := int(i) % 4
+		cluster.Submit(party, icc.Command{
+			Client: 42 + i,
+			Seq:    1,
+			Op:     icc.OpSet,
+			Key:    fmt.Sprintf("greeting-%d", i),
+			Value:  []byte(fmt.Sprintf("hello from command %d", i)),
+		})
+	}
+
+	// Wait until every command is visible on every replica. Commands
+	// submitted to a party are proposed when that party's blocks win a
+	// round, so all four parties must lead at least once.
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for p := 0; p < 4 && done; p++ {
+			for i := 1; i <= 5; i++ {
+				if _, ok := cluster.KV(p).Get(fmt.Sprintf("greeting-%d", i)); !ok {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Println("\nreplica states:")
+	for p := 0; p < 4; p++ {
+		v, _ := cluster.KV(p).Get("greeting-3")
+		fmt.Printf("  party %d: %d keys, greeting-3=%q, state hash %s\n",
+			p, cluster.KV(p).Len(), v, cluster.KV(p).StateHash().Short())
+	}
+	fmt.Printf("\ntotal block commits observed: %d\n", blocks.Load())
+	fmt.Println("all replicas share one state hash: that is atomic broadcast at work")
+}

@@ -1,0 +1,128 @@
+// Tcpcluster: a multi-node ICC deployment over real TCP sockets — the
+// same node stack cmd/iccnode runs as separate processes, here hosted in
+// one binary on localhost loopback for a self-contained demonstration.
+// Each node has its own TCP listener, key material, command queue, and
+// state machine; all traffic crosses the network stack with
+// length-prefixed frames.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"icc/internal/clock"
+	"icc/internal/core"
+	"icc/internal/crypto/keys"
+	"icc/internal/runtime"
+	"icc/internal/statemachine"
+	"icc/internal/transport"
+	"icc/internal/types"
+)
+
+const n = 4
+
+func main() {
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		log.Fatalf("dealing keys: %v", err)
+	}
+
+	// Fixed loopback ports for the demo cluster.
+	addrs := make(map[types.PartyID]string, n)
+	for i := 0; i < n; i++ {
+		addrs[types.PartyID(i)] = fmt.Sprintf("127.0.0.1:%d", 9500+i)
+	}
+
+	var (
+		mu        sync.Mutex
+		committed = make([]int, n)
+	)
+	clk := clock.NewWall()
+	queues := make([]*statemachine.Queue, n)
+	kvs := make([]*statemachine.KV, n)
+	runners := make([]*runtime.Runner, n)
+	endpoints := make([]*transport.TCP, n)
+
+	for i := 0; i < n; i++ {
+		i := i
+		ep, err := transport.NewTCP(types.PartyID(i), addrs)
+		if err != nil {
+			log.Fatalf("node %d: %v", i, err)
+		}
+		endpoints[i] = ep
+		queues[i] = statemachine.NewQueue()
+		kvs[i] = statemachine.NewKV()
+		eng := core.NewEngine(core.Config{
+			Self:       types.PartyID(i),
+			Keys:       pub,
+			Priv:       privs[i],
+			DeltaBound: 50 * time.Millisecond,
+			Payload:    queues[i],
+			Hooks: core.Hooks{
+				OnCommit: func(b *types.Block, _ time.Duration) {
+					_ = kvs[i].Apply(b.Payload)
+					queues[i].MarkCommitted(b.Payload)
+					mu.Lock()
+					committed[i]++
+					mu.Unlock()
+				},
+			},
+		})
+		runners[i] = runtime.NewRunner(eng, ep, clk, n)
+	}
+	for i, r := range runners {
+		r.Start()
+		fmt.Printf("node %d listening on %s\n", i, endpoints[i].Addr())
+	}
+	defer func() {
+		for i, r := range runners {
+			r.Stop()
+			_ = endpoints[i].Close()
+		}
+	}()
+
+	fmt.Println("\nsubmitting one command per node...")
+	for i := 0; i < n; i++ {
+		queues[i].Submit(statemachine.Command{
+			Client: uint64(i + 1),
+			Seq:    1,
+			Op:     statemachine.OpSet,
+			Key:    fmt.Sprintf("from-node-%d", i),
+			Value:  []byte("over real TCP"),
+		})
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		allApplied := true
+		for i := 0; i < n; i++ {
+			if kvs[i].AppliedOps() < n {
+				allApplied = false
+				break
+			}
+		}
+		if allApplied {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	fmt.Println("\nfinal replica states:")
+	ref := kvs[0].StateHash()
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		blocks := committed[i]
+		mu.Unlock()
+		fmt.Printf("  node %d: %d blocks committed, %d keys, state %s (match=%v)\n",
+			i, blocks, kvs[i].Len(), kvs[i].StateHash().Short(), kvs[i].StateHash() == ref)
+	}
+	if kvs[n-1].StateHash() != ref {
+		log.Fatal("states diverged")
+	}
+	fmt.Println("\n4 TCP nodes reached identical states — BFT state machine replication over sockets")
+}

@@ -1,0 +1,3 @@
+module icc
+
+go 1.22

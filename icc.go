@@ -1,0 +1,333 @@
+// Package icc is a from-scratch Go implementation of the Internet
+// Computer Consensus (ICC) family of atomic-broadcast protocols
+// (Camenisch, Drijvers, Hanke, Pignolet, Shoup, Williams — PODC 2022):
+// ICC0, ICC1 (gossip dissemination), and ICC2 (erasure-coded reliable
+// broadcast), together with every substrate they depend on — threshold
+// signatures and a random beacon, an artifact pool and block tree, a
+// gossip overlay, Reed–Solomon coding with Merkle-committed fragments, a
+// deterministic network simulator, and real in-process/TCP runtimes.
+//
+// This package is the high-level facade. Three entry points:
+//
+//   - NewLocalCluster: an n-party replicated state machine running in
+//     one process on real time, with a key-value store on top — the
+//     quickest way to see consensus commit client commands.
+//   - NewSim: a deterministic discrete-event simulation of a cluster
+//     (virtual time, seeded delays, optional Byzantine parties) — the
+//     engine behind the benchmark suite and most tests.
+//   - internal/... packages expose every layer individually for
+//     advanced use; see DESIGN.md for the map.
+package icc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"icc/internal/adversary"
+	"icc/internal/clock"
+	"icc/internal/core"
+	"icc/internal/crypto/keys"
+	"icc/internal/engine"
+	"icc/internal/gossip"
+	"icc/internal/harness"
+	"icc/internal/rbc"
+	"icc/internal/runtime"
+	"icc/internal/statemachine"
+	"icc/internal/transport"
+	"icc/internal/types"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+// Protocol variants.
+const (
+	ICC0 Mode = iota // blocks broadcast directly (paper §3)
+	ICC1             // blocks disseminated via the gossip sub-layer
+	ICC2             // blocks disseminated via erasure-coded reliable broadcast
+)
+
+// Behavior configures a party's (mis)behaviour in a LocalCluster.
+type Behavior int
+
+// Behaviours for fault-injection runs.
+const (
+	Honest Behavior = iota
+	CrashFromBirth
+	SilentLeader
+	EquivocatingLeader
+)
+
+// Command is a replicated-state-machine command. (Client, Seq) must be
+// unique per command; replicas apply each identity exactly once, in
+// per-client Seq order.
+type Command = statemachine.Command
+
+// Operation codes for Command.Op.
+const (
+	OpSet    = statemachine.OpSet
+	OpDelete = statemachine.OpDelete
+	OpAppend = statemachine.OpAppend
+)
+
+// KV is the replicated key-value state machine each party maintains.
+type KV = statemachine.KV
+
+// CommitEvent reports one block committed by one party.
+type CommitEvent struct {
+	Party   int
+	Round   uint64
+	Payload []byte
+}
+
+// Options configures a LocalCluster.
+type Options struct {
+	// Mode selects ICC0 (default), ICC1, or ICC2.
+	Mode Mode
+	// DeltaBound is Δbnd, the partial-synchrony delay bound driving the
+	// Δprop/Δntry delay functions (default 100 ms — generous for
+	// localhost; lower it for faster rounds).
+	DeltaBound time.Duration
+	// Epsilon is the ε rate governor of paper eq. (2) (default 0).
+	Epsilon time.Duration
+	// Behaviors assigns Byzantine roles to parties (default all honest).
+	Behaviors map[int]Behavior
+	// GossipFanout bounds the ICC1 overlay degree (default ≈ 2·log₂ n).
+	GossipFanout int
+	// MaxBatch bounds commands per block (default 1024).
+	MaxBatch int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithMode selects the protocol variant.
+func WithMode(m Mode) Option { return func(o *Options) { o.Mode = m } }
+
+// WithDeltaBound sets Δbnd.
+func WithDeltaBound(d time.Duration) Option { return func(o *Options) { o.DeltaBound = d } }
+
+// WithEpsilon sets the ε governor.
+func WithEpsilon(d time.Duration) Option { return func(o *Options) { o.Epsilon = d } }
+
+// WithBehavior assigns a Byzantine role to a party.
+func WithBehavior(party int, b Behavior) Option {
+	return func(o *Options) {
+		if o.Behaviors == nil {
+			o.Behaviors = make(map[int]Behavior)
+		}
+		o.Behaviors[party] = b
+	}
+}
+
+// WithGossipFanout bounds the ICC1 overlay degree.
+func WithGossipFanout(f int) Option { return func(o *Options) { o.GossipFanout = f } }
+
+// LocalCluster is an n-party ICC deployment inside one process, running
+// on wall-clock time over an in-process transport, with a replicated
+// key-value store applied on top of the committed chain.
+type LocalCluster struct {
+	n    int
+	pub  *keys.Public
+	hub  *transport.Inproc
+	rnrs []*runtime.Runner
+
+	queues []*statemachine.Queue
+	kvs    []*statemachine.KV
+
+	mu        sync.Mutex
+	onCommit  func(CommitEvent)
+	committed []int
+	started   bool
+}
+
+// NewLocalCluster deals key material and assembles an n-party cluster.
+// Call Start to run it and Stop to shut it down.
+func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("icc: invalid cluster size %d", n)
+	}
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	if o.DeltaBound == 0 {
+		o.DeltaBound = 100 * time.Millisecond
+	}
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		return nil, fmt.Errorf("icc: dealing keys: %w", err)
+	}
+	c := &LocalCluster{
+		n:         n,
+		pub:       pub,
+		hub:       transport.NewInproc(n),
+		queues:    make([]*statemachine.Queue, n),
+		kvs:       make([]*statemachine.KV, n),
+		committed: make([]int, n),
+	}
+	clk := clock.NewWall()
+	for i := 0; i < n; i++ {
+		i := i
+		c.queues[i] = statemachine.NewQueue()
+		if o.MaxBatch > 0 {
+			c.queues[i].MaxBatch = o.MaxBatch
+		}
+		c.kvs[i] = statemachine.NewKV()
+		behavior := o.Behaviors[i]
+		if behavior == CrashFromBirth {
+			// A crashed party simply runs no engine.
+			c.rnrs = append(c.rnrs, nil)
+			continue
+		}
+		inner := core.NewEngine(core.Config{
+			Self:       types.PartyID(i),
+			Keys:       pub,
+			Priv:       privs[i],
+			DeltaBound: o.DeltaBound,
+			Epsilon:    o.Epsilon,
+			Payload:    c.queues[i],
+			Hooks: core.Hooks{
+				OnCommit: func(b *types.Block, _ time.Duration) { c.commit(i, b) },
+			},
+		})
+		var eng engine.Engine = inner
+		switch behavior {
+		case SilentLeader:
+			eng = adversary.NewSilentLeader(inner)
+		case EquivocatingLeader:
+			eng = adversary.NewEquivocator(inner, n, privs[i].Auth)
+		}
+		switch o.Mode {
+		case ICC1:
+			fanout := o.GossipFanout
+			if fanout <= 0 {
+				fanout = defaultFanout(n)
+			}
+			eng = gossip.Wrap(gossip.Config{Self: types.PartyID(i), N: n, Fanout: fanout, Seed: 42}, eng)
+		case ICC2:
+			eng = rbc.Wrap(rbc.Config{Self: types.PartyID(i), N: n}, eng)
+		}
+		c.rnrs = append(c.rnrs, runtime.NewRunner(eng, c.hub.Endpoint(types.PartyID(i)), clk, n))
+	}
+	return c, nil
+}
+
+// defaultFanout mirrors the harness default: ≈ 2·log₂(n) + 2.
+func defaultFanout(n int) int {
+	f := 2
+	for v := n; v > 1; v >>= 1 {
+		f += 2
+	}
+	if f > n-1 {
+		f = n - 1
+	}
+	return f
+}
+
+// commit applies a committed block to party i's state machine and fires
+// the user callback.
+func (c *LocalCluster) commit(i int, b *types.Block) {
+	_ = c.kvs[i].Apply(b.Payload)
+	c.queues[i].MarkCommitted(b.Payload)
+	c.mu.Lock()
+	c.committed[i]++
+	h := c.onCommit
+	c.mu.Unlock()
+	if h != nil {
+		h(CommitEvent{Party: i, Round: uint64(b.Round), Payload: b.Payload})
+	}
+}
+
+// OnCommit registers a callback fired for every block each party
+// commits. Must be called before Start. The callback runs on engine
+// goroutines: keep it fast and thread-safe.
+func (c *LocalCluster) OnCommit(h func(CommitEvent)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onCommit = h
+}
+
+// Start launches all parties.
+func (c *LocalCluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	for _, r := range c.rnrs {
+		if r != nil {
+			r.Start()
+		}
+	}
+}
+
+// Stop shuts the cluster down.
+func (c *LocalCluster) Stop() {
+	for _, r := range c.rnrs {
+		if r != nil {
+			r.Stop()
+		}
+	}
+	c.hub.Close()
+}
+
+// Submit hands a command to one party's pending queue; the party will
+// include it in a future block proposal. Returns false on duplicate
+// (client, seq).
+func (c *LocalCluster) Submit(party int, cmd Command) bool {
+	return c.queues[party].Submit(cmd)
+}
+
+// KV returns party p's replicated key-value store.
+func (c *LocalCluster) KV(party int) *KV { return c.kvs[party] }
+
+// CommittedBlocks returns how many blocks party p has committed.
+func (c *LocalCluster) CommittedBlocks(party int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed[party]
+}
+
+// WaitForCommits blocks until every live party has committed at least
+// min blocks, or the timeout elapses.
+func (c *LocalCluster) WaitForCommits(min int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.minCommitted() >= min {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return c.minCommitted() >= min
+}
+
+func (c *LocalCluster) minCommitted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	minC := -1
+	for i, r := range c.rnrs {
+		if r == nil {
+			continue // crashed party
+		}
+		if minC < 0 || c.committed[i] < minC {
+			minC = c.committed[i]
+		}
+	}
+	return minC
+}
+
+// Sim re-exports the deterministic simulation harness: virtual time,
+// seeded delay models, Byzantine behaviours, and byte-accurate metrics.
+// See the harness package for the full option surface.
+type Sim = harness.Cluster
+
+// SimOptions configures a simulation.
+type SimOptions = harness.Options
+
+// NewSim builds a deterministic cluster simulation.
+func NewSim(opts SimOptions) (*Sim, error) { return harness.New(opts) }

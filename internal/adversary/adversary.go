@@ -1,0 +1,202 @@
+// Package adversary provides Byzantine engine implementations for
+// robustness experiments (paper §1 "Robust consensus", Table 1 scenario
+// 3). Each adversary implements engine.Engine so it plugs into the same
+// simulator as honest engines.
+//
+// The behaviours here follow the corruption taxonomy of §3.1: crash
+// failures (Silent), consistent failures (SilentLeader, LazyVoter — not
+// conspicuously incorrect), and full Byzantine behaviour (Equivocator).
+package adversary
+
+import (
+	"time"
+
+	"icc/internal/core"
+	"icc/internal/crypto/sig"
+	"icc/internal/engine"
+	"icc/internal/types"
+)
+
+// Silent is a party that crashed before the protocol started: it never
+// sends anything and ignores everything.
+type Silent struct {
+	Self types.PartyID
+}
+
+// NewSilent returns a from-birth crashed party.
+func NewSilent(self types.PartyID) *Silent { return &Silent{Self: self} }
+
+// ID implements engine.Engine.
+func (s *Silent) ID() types.PartyID { return s.Self }
+
+// Init implements engine.Engine.
+func (s *Silent) Init(time.Duration) []engine.Output { return nil }
+
+// HandleMessage implements engine.Engine.
+func (s *Silent) HandleMessage(types.PartyID, types.Message, time.Duration) []engine.Output {
+	return nil
+}
+
+// Tick implements engine.Engine.
+func (s *Silent) Tick(time.Duration) []engine.Output { return nil }
+
+// NextWake implements engine.Engine.
+func (s *Silent) NextWake(time.Duration) (time.Duration, bool) { return 0, false }
+
+// CurrentRound implements engine.Engine.
+func (s *Silent) CurrentRound() types.Round { return 0 }
+
+var _ engine.Engine = (*Silent)(nil)
+
+// Filter wraps an inner engine and rewrites its outputs — the chassis
+// for selective misbehaviour. Transform receives each output and returns
+// the outputs to actually transmit (possibly none, possibly several).
+type Filter struct {
+	Inner     engine.Engine
+	Transform func(out engine.Output) []engine.Output
+}
+
+// ID implements engine.Engine.
+func (f *Filter) ID() types.PartyID { return f.Inner.ID() }
+
+// Init implements engine.Engine.
+func (f *Filter) Init(now time.Duration) []engine.Output {
+	return f.apply(f.Inner.Init(now))
+}
+
+// HandleMessage implements engine.Engine.
+func (f *Filter) HandleMessage(from types.PartyID, m types.Message, now time.Duration) []engine.Output {
+	return f.apply(f.Inner.HandleMessage(from, m, now))
+}
+
+// Tick implements engine.Engine.
+func (f *Filter) Tick(now time.Duration) []engine.Output {
+	return f.apply(f.Inner.Tick(now))
+}
+
+// NextWake implements engine.Engine.
+func (f *Filter) NextWake(now time.Duration) (time.Duration, bool) { return f.Inner.NextWake(now) }
+
+// CurrentRound implements engine.Engine.
+func (f *Filter) CurrentRound() types.Round { return f.Inner.CurrentRound() }
+
+func (f *Filter) apply(outs []engine.Output) []engine.Output {
+	var res []engine.Output
+	for _, o := range outs {
+		res = append(res, f.Transform(o)...)
+	}
+	return res
+}
+
+var _ engine.Engine = (*Filter)(nil)
+
+// isOwnProposal reports whether the output is the bundle an engine
+// broadcasts when proposing its own block.
+func isOwnProposal(self types.PartyID, o engine.Output) (*types.Bundle, *types.Block, bool) {
+	b, ok := o.Msg.(*types.Bundle)
+	if !ok || len(b.Messages) < 2 {
+		return nil, nil, false
+	}
+	bm, ok := b.Messages[0].(*types.BlockMsg)
+	if !ok || bm.Block == nil || bm.Block.Proposer != self {
+		return nil, nil, false
+	}
+	return b, bm.Block, true
+}
+
+// NewSilentLeader wraps an honest engine so that it participates fully in
+// notarization and finalization but never disseminates its own block
+// proposals. In rounds where it is the leader, other parties must fall
+// back to rank-1+ proposals after Δntry — the robustness path the paper
+// highlights.
+func NewSilentLeader(inner *core.Engine) engine.Engine {
+	self := inner.ID()
+	return &Filter{
+		Inner: inner,
+		Transform: func(o engine.Output) []engine.Output {
+			if _, _, own := isOwnProposal(self, o); own {
+				return nil
+			}
+			return []engine.Output{o}
+		},
+	}
+}
+
+// NewLazyVoter wraps an honest engine so that it never contributes
+// notarization or finalization shares (but still proposes and relays) —
+// a "consistent failure" that shrinks quorums without conspicuous
+// misbehaviour.
+func NewLazyVoter(inner *core.Engine) engine.Engine {
+	return &Filter{
+		Inner: inner,
+		Transform: func(o engine.Output) []engine.Output {
+			switch o.Msg.(type) {
+			case *types.NotarizationShare, *types.FinalizationShare:
+				return nil
+			}
+			return []engine.Output{o}
+		},
+	}
+}
+
+// NewEquivocator wraps an honest engine so that whenever it proposes a
+// block, it creates a second, conflicting block for the same round and
+// sends one to the first half of the parties and the other to the second
+// half. Honest parties that see both must disqualify its rank (Fig. 1
+// clause (c)); safety must survive regardless. n is the cluster size;
+// authKey the party's own S_auth signing key (the equivocating twin is
+// properly signed — an unsigned one would simply be dropped at the
+// pool).
+func NewEquivocator(inner *core.Engine, n int, authKey []byte) engine.Engine {
+	self := inner.ID()
+	return &Filter{
+		Inner: inner,
+		Transform: func(o engine.Output) []engine.Output {
+			bundle, blk, own := isOwnProposal(self, o)
+			if !own {
+				return []engine.Output{o}
+			}
+			// Build the conflicting twin: same round and parent,
+			// different payload.
+			twin := &types.Block{
+				Round:      blk.Round,
+				Proposer:   blk.Proposer,
+				ParentHash: blk.ParentHash,
+				Payload:    append([]byte("equivocation:"), blk.Payload...),
+			}
+			th := twin.Hash()
+			twinAuth := &types.Authenticator{
+				Round: twin.Round, Proposer: twin.Proposer, BlockHash: th,
+				Sig: sig.Sign(sig.PrivateKey(authKey), types.DomainAuthenticator,
+					types.SigningBytes(twin.Round, twin.Proposer, th)),
+			}
+			twinBundle := &types.Bundle{Messages: []types.Message{&types.BlockMsg{Block: twin}, twinAuth}}
+			// Reuse the parent notarization from the original bundle.
+			for _, m := range bundle.Messages {
+				if nz, ok := m.(*types.Notarization); ok {
+					twinBundle.Messages = append(twinBundle.Messages, nz)
+				}
+			}
+			var outs []engine.Output
+			for p := 0; p < n; p++ {
+				pid := types.PartyID(p)
+				if pid == self {
+					continue
+				}
+				if p < n/2 {
+					outs = append(outs, engine.Unicast(pid, bundle))
+				} else {
+					outs = append(outs, engine.Unicast(pid, twinBundle))
+				}
+			}
+			return outs
+		},
+	}
+}
+
+// NewEmptyProposer wraps an honest engine so that its proposals carry an
+// empty payload — the "useless but not invalid" leader behaviour the
+// paper notes cannot be prevented, only reconfigured away. It is built
+// by giving the inner engine an EmptyPayload source, so this constructor
+// exists only for symmetry and documentation.
+func NewEmptyProposer(inner *core.Engine) engine.Engine { return inner }

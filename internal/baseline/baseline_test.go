@@ -1,0 +1,256 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"icc/internal/engine"
+	"icc/internal/metrics"
+	"icc/internal/simnet"
+	"icc/internal/types"
+)
+
+// commitLog records commits across a cluster.
+type commitLog struct {
+	mu   sync.Mutex
+	seqs [][]uint64 // per party: committed view/height numbers
+	at   []time.Duration
+}
+
+func newCommitLog(n int) *commitLog { return &commitLog{seqs: make([][]uint64, n)} }
+
+func (l *commitLog) record(p int) func(uint64, []byte, time.Duration) {
+	return func(v uint64, _ []byte, now time.Duration) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.seqs[p] = append(l.seqs[p], v)
+		l.at = append(l.at, now)
+	}
+}
+
+func (l *commitLog) min() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := -1
+	for _, s := range l.seqs {
+		if m < 0 || len(s) < m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+func (l *commitLog) checkConsistent(t *testing.T) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var longest []uint64
+	for _, s := range l.seqs {
+		if len(s) > len(longest) {
+			longest = s
+		}
+	}
+	for p, s := range l.seqs {
+		for i, v := range s {
+			if v != longest[i] {
+				t.Fatalf("party %d commit %d is %d, others saw %d", p, i, v, longest[i])
+			}
+		}
+	}
+}
+
+func runHotStuff(t *testing.T, n int, delta time.Duration, minCommits int) (*commitLog, *metrics.Recorder) {
+	t.Helper()
+	rec := metrics.NewRecorder(n)
+	nw := simnet.New(simnet.Options{Seed: 1, Delay: simnet.Fixed{D: delta}, Recorder: rec})
+	log := newCommitLog(n)
+	for i := 0; i < n; i++ {
+		h := NewHotStuff(HotStuffConfig{
+			Self: types.PartyID(i), N: n,
+			DeltaBound: 100 * time.Millisecond,
+			OnCommit:   log.record(i),
+		})
+		nw.AddNode(h, true)
+	}
+	nw.Start()
+	if !nw.RunUntil(func() bool { return log.min() >= minCommits }, 5*time.Minute) {
+		t.Fatalf("hotstuff made no progress: min commits %d", log.min())
+	}
+	return log, rec
+}
+
+func TestHotStuffCommits(t *testing.T) {
+	log, _ := runHotStuff(t, 4, 10*time.Millisecond, 10)
+	log.checkConsistent(t)
+}
+
+func TestHotStuffThroughputIs2Delta(t *testing.T) {
+	const delta = 10 * time.Millisecond
+	log, _ := runHotStuff(t, 4, delta, 30)
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	// Gap between consecutive commits at one party ≈ 2δ.
+	seq := log.seqs[0]
+	if len(seq) < 10 {
+		t.Fatal("too few commits")
+	}
+	// Views must be consecutive in the steady state (pipelined commits).
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != seq[i-1]+1 {
+			t.Fatalf("non-consecutive committed views %d -> %d", seq[i-1], seq[i])
+		}
+	}
+}
+
+func TestTendermintCommits(t *testing.T) {
+	const n = 4
+	rec := metrics.NewRecorder(n)
+	nw := simnet.New(simnet.Options{Seed: 2, Delay: simnet.Fixed{D: 10 * time.Millisecond}, Recorder: rec})
+	log := newCommitLog(n)
+	for i := 0; i < n; i++ {
+		tm := NewTendermint(TendermintConfig{
+			Self: types.PartyID(i), N: n,
+			DeltaBound: 100 * time.Millisecond,
+			OnCommit:   log.record(i),
+		})
+		nw.AddNode(tm, true)
+	}
+	nw.Start()
+	if !nw.RunUntil(func() bool { return log.min() >= 10 }, 5*time.Minute) {
+		t.Fatalf("tendermint made no progress: min commits %d", log.min())
+	}
+	log.checkConsistent(t)
+}
+
+// TestTendermintNotResponsive: with δ = 1 ms and Δbnd = 200 ms, the
+// height rate must be dominated by Δbnd (timeoutCommit), unlike ICC.
+func TestTendermintNotResponsive(t *testing.T) {
+	const n = 4
+	const delta = time.Millisecond
+	const bound = 200 * time.Millisecond
+	nw := simnet.New(simnet.Options{Seed: 3, Delay: simnet.Fixed{D: delta}})
+	log := newCommitLog(n)
+	for i := 0; i < n; i++ {
+		tm := NewTendermint(TendermintConfig{
+			Self: types.PartyID(i), N: n,
+			DeltaBound: bound,
+			OnCommit:   log.record(i),
+		})
+		nw.AddNode(tm, true)
+	}
+	nw.Start()
+	deadline := 5 * time.Second
+	nw.Run(deadline)
+	got := log.min()
+	// Height duration ≈ 3δ + Δbnd ≈ 203 ms ⇒ ~24 heights in 5 s.
+	// Were it responsive (≈3δ), we would see >1000.
+	if got > 40 {
+		t.Fatalf("tendermint committed %d heights in %v — looks responsive, should be Δbnd-bound", got, deadline)
+	}
+	if got < 10 {
+		t.Fatalf("tendermint only committed %d heights — liveness problem", got)
+	}
+}
+
+// TestHotStuffLatencyVsICC confirms the structural latency gap the paper
+// describes: HotStuff's proposal→commit distance is three chained views
+// (≈6δ), double ICC0's 3δ.
+func TestHotStuffLatencyVsICC(t *testing.T) {
+	const delta = 10 * time.Millisecond
+	const n = 4
+	nw := simnet.New(simnet.Options{Seed: 4, Delay: simnet.Fixed{D: delta}})
+	log := newCommitLog(n)
+	var mu sync.Mutex
+	proposeAt := map[uint64]time.Duration{}
+	commitAt := map[uint64]time.Duration{}
+	for i := 0; i < n; i++ {
+		i := i
+		h := NewHotStuff(HotStuffConfig{
+			Self: types.PartyID(i), N: n,
+			DeltaBound: 100 * time.Millisecond,
+			OnCommit: func(v uint64, p []byte, now time.Duration) {
+				mu.Lock()
+				if _, ok := commitAt[v]; !ok {
+					commitAt[v] = now
+				}
+				mu.Unlock()
+				log.record(i)(v, p, now)
+			},
+		})
+		// Track proposal times via payloads? Simpler: view v is proposed
+		// roughly at viewStart; with Fixed delay and round-robin leaders,
+		// view v starts at (v−1)·2δ.
+		nw.AddNode(h, true)
+	}
+	nw.Start()
+	if !nw.RunUntil(func() bool { return log.min() >= 20 }, time.Minute) {
+		t.Fatal("no progress")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Steady state: view v proposed at ≈ (v−1)·2δ; committed at
+	// commitAt[v]. Expect latency ≈ 6δ (3 views of 2δ).
+	var total time.Duration
+	var count int
+	for v, c := range commitAt {
+		if v < 3 || v > 20 {
+			continue
+		}
+		proposed := time.Duration(v-1) * 2 * delta
+		proposeAt[v] = proposed
+		total += c - proposed
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no samples")
+	}
+	mean := total / time.Duration(count)
+	if mean < 4*delta || mean > 9*delta {
+		t.Fatalf("hotstuff latency %v, want ≈ 6δ = %v", mean, 6*delta)
+	}
+	t.Logf("hotstuff commit latency ≈ %v (6δ = %v)", mean, 6*delta)
+}
+
+// TestHotStuffSurvivesCrashedLeader uses n = 7: chained HotStuff's
+// three-chain commit rule needs a streak of four consecutive live-leader
+// views, so with strict round-robin rotation and n = 4 a single
+// permanently crashed party stalls commits forever (views keep advancing
+// but the chain always breaks at the dead leader's view). With n = 7 the
+// streaks of six live views between hits commit normally. ICC has no
+// such fragility — any notarized block can be finalized regardless of
+// leader history — which is exactly the robustness contrast of paper §1
+// ("Robust consensus", [15]); benchmark E5 quantifies it.
+func TestHotStuffSurvivesCrashedLeader(t *testing.T) {
+	const n = 7
+	nw := simnet.New(simnet.Options{Seed: 5, Delay: simnet.Fixed{D: 10 * time.Millisecond}})
+	log := newCommitLog(n)
+	for i := 0; i < n; i++ {
+		h := NewHotStuff(HotStuffConfig{
+			Self: types.PartyID(i), N: n,
+			DeltaBound: 50 * time.Millisecond,
+			OnCommit:   log.record(i),
+		})
+		nw.AddNode(h, true)
+	}
+	nw.Crash(2) // crashes before Init: a permanently silent leader
+	nw.Start()
+	if !nw.RunUntil(func() bool {
+		log.mu.Lock()
+		defer log.mu.Unlock()
+		for p, s := range log.seqs {
+			if p == 2 {
+				continue
+			}
+			if len(s) < 8 {
+				return false
+			}
+		}
+		return true
+	}, 5*time.Minute) {
+		t.Fatal("hotstuff stalled with one crashed party")
+	}
+	log.checkConsistent(t)
+}
+
+var _ engine.Engine = (*HotStuff)(nil)

@@ -1,0 +1,282 @@
+// Package beacon implements the ICC random beacon (paper §2.3, §3.3):
+// a sequence R_0, R_1, R_2, … where R_0 is a fixed public value and R_k
+// is the unique threshold signature on (k, R_{k−1}). Each round's beacon
+// value seeds a pseudorandom permutation of the parties that assigns
+// ranks; the rank-0 party is the round leader.
+//
+// Because the threshold is t+1, the t corrupt parties can never compute
+// R_k by themselves (unpredictability), while any t+1 parties — hence
+// the honest parties alone — always can (liveness).
+package beacon
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/thresig"
+	"icc/internal/types"
+)
+
+// Beacon tracks beacon values and shares for one party.
+// It is not safe for concurrent use; the engine serialises access.
+type Beacon struct {
+	pub  *thresig.PublicInfo
+	sk   thresig.SecretShare
+	self types.PartyID
+
+	// values[k] is R_k's signature; the genesis entry (k=0) is a fixed
+	// pseudo-signature derived from the genesis seed.
+	values map[types.Round]*thresig.Signature
+	// digests[k] caches H(R_k).
+	digests map[types.Round]hash.Digest
+	// shares[k][p] holds received shares for round k — verified lazily,
+	// because verification needs R_{k−1}, which a lagging party may not
+	// yet have.
+	shares map[types.Round]map[types.PartyID]*thresig.SigShare
+	// perms caches round permutations.
+	perms map[types.Round][]types.PartyID
+
+	genesis hash.Digest
+}
+
+// New creates a beacon tracker. The genesis seed must be identical across
+// all parties (it is part of the public key material).
+func New(pub *thresig.PublicInfo, sk thresig.SecretShare, self types.PartyID, genesisSeed []byte) *Beacon {
+	b := &Beacon{
+		pub:     pub,
+		sk:      sk,
+		self:    self,
+		values:  make(map[types.Round]*thresig.Signature),
+		digests: make(map[types.Round]hash.Digest),
+		shares:  make(map[types.Round]map[types.PartyID]*thresig.SigShare),
+		perms:   make(map[types.Round][]types.PartyID),
+		genesis: hash.Sum(hash.DomainBeacon, genesisSeed),
+	}
+	b.digests[0] = b.genesis
+	return b
+}
+
+// message returns the byte string the round-k beacon signs: (k, R_{k−1}).
+// Returns false if R_{k−1} is not yet known.
+func (b *Beacon) message(k types.Round) ([]byte, bool) {
+	if k == 0 {
+		return nil, false
+	}
+	prev, ok := b.digests[k-1]
+	if !ok {
+		return nil, false
+	}
+	e := types.NewEncoder(8 + hash.Size)
+	e.U64(uint64(k))
+	e.Bytes32(prev)
+	return e.Bytes(), true
+}
+
+// ShareForRound produces this party's share of the round-k beacon.
+// It fails if R_{k−1} is not yet known.
+func (b *Beacon) ShareForRound(k types.Round) (*types.BeaconShare, error) {
+	msg, ok := b.message(k)
+	if !ok {
+		return nil, fmt.Errorf("beacon: R_%d not yet known, cannot sign R_%d", k-1, k)
+	}
+	share, err := thresig.Sign(rand.Reader, b.sk, msg)
+	if err != nil {
+		return nil, fmt.Errorf("beacon: signing share: %w", err)
+	}
+	return &types.BeaconShare{Round: k, Signer: b.self, Share: share.Encode()}, nil
+}
+
+// AddShare records a received share. Verification is deferred to Reveal
+// if R_{k−1} is still unknown; conspicuously malformed shares are
+// rejected immediately.
+func (b *Beacon) AddShare(s *types.BeaconShare) error {
+	if s.Signer < 0 || int(s.Signer) >= b.pub.N {
+		return fmt.Errorf("beacon: signer %d out of range", s.Signer)
+	}
+	if s.Round == 0 {
+		return fmt.Errorf("beacon: share for genesis round")
+	}
+	decoded, err := thresig.DecodeSigShare(int(s.Signer), s.Share)
+	if err != nil {
+		return fmt.Errorf("beacon: malformed share: %w", err)
+	}
+	m := b.shares[s.Round]
+	if m == nil {
+		m = make(map[types.PartyID]*thresig.SigShare)
+		b.shares[s.Round] = m
+	}
+	if _, dup := m[s.Signer]; dup {
+		return nil
+	}
+	m[s.Signer] = decoded
+	return nil
+}
+
+// ShareCount returns the number of (not yet verified) shares held for a
+// round.
+func (b *Beacon) ShareCount(k types.Round) int { return len(b.shares[k]) }
+
+// Have reports whether R_k is known.
+func (b *Beacon) Have(k types.Round) bool {
+	_, ok := b.digests[k]
+	return ok
+}
+
+// Reveal attempts to compute R_k from the shares held. It returns the
+// digest H(R_k) and true on success. Invalid shares are discarded in the
+// process (combining verifies each share against the public material).
+func (b *Beacon) Reveal(k types.Round) (hash.Digest, bool) {
+	if d, ok := b.digests[k]; ok {
+		return d, true
+	}
+	msg, ok := b.message(k)
+	if !ok {
+		return hash.Digest{}, false
+	}
+	m := b.shares[k]
+	if len(m) < b.pub.Threshold {
+		return hash.Digest{}, false
+	}
+	// Deterministic order: ascending party index.
+	list := make([]*thresig.SigShare, 0, len(m))
+	for p := 0; p < b.pub.N; p++ {
+		if s, ok := m[types.PartyID(p)]; ok {
+			list = append(list, s)
+		}
+	}
+	sigv, err := b.pub.Combine(msg, list)
+	if err != nil {
+		return hash.Digest{}, false
+	}
+	b.values[k] = sigv
+	d := sigv.Digest()
+	b.digests[k] = d
+	return d, true
+}
+
+// Digest returns H(R_k) if known.
+func (b *Beacon) Digest(k types.Round) (hash.Digest, bool) {
+	d, ok := b.digests[k]
+	return d, ok
+}
+
+// Permutation returns the round-k ranking permutation:
+// perm[rank] = party. The permutation is a deterministic Fisher–Yates
+// shuffle seeded by H(R_k), so every party that knows R_k derives the
+// same ranking (paper §3.3).
+func (b *Beacon) Permutation(k types.Round) ([]types.PartyID, bool) {
+	if p, ok := b.perms[k]; ok {
+		return p, true
+	}
+	d, ok := b.digests[k]
+	if !ok {
+		return nil, false
+	}
+	p := PermutationFromDigest(d, b.pub.N)
+	b.perms[k] = p
+	return p, true
+}
+
+// RankOf returns party p's rank in round k.
+func (b *Beacon) RankOf(k types.Round, p types.PartyID) (types.Rank, bool) {
+	perm, ok := b.Permutation(k)
+	if !ok {
+		return 0, false
+	}
+	for r, q := range perm {
+		if q == p {
+			return types.Rank(r), true
+		}
+	}
+	return 0, false
+}
+
+// Leader returns the rank-0 party of round k.
+func (b *Beacon) Leader(k types.Round) (types.PartyID, bool) {
+	perm, ok := b.Permutation(k)
+	if !ok {
+		return 0, false
+	}
+	return perm[0], true
+}
+
+// Prune discards share and permutation state for rounds before `before`.
+// Beacon digests are kept (they chain).
+func (b *Beacon) Prune(before types.Round) {
+	for k := range b.shares {
+		if k < before {
+			delete(b.shares, k)
+		}
+	}
+	for k := range b.perms {
+		if k < before {
+			delete(b.perms, k)
+		}
+	}
+	for k := range b.values {
+		if k < before {
+			delete(b.values, k)
+		}
+	}
+}
+
+// PermutationFromDigest derives a permutation of [0, n) from a digest via
+// Fisher–Yates driven by a hash-based deterministic stream. Exported for
+// tests and for adversary tooling that needs to predict rankings.
+func PermutationFromDigest(d hash.Digest, n int) []types.PartyID {
+	perm := make([]types.PartyID, n)
+	for i := range perm {
+		perm[i] = types.PartyID(i)
+	}
+	stream := newHashStream(d)
+	for i := n - 1; i > 0; i-- {
+		j := int(stream.uintn(uint64(i + 1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// hashStream is a deterministic PRNG: SHA-256(digest, counter) blocks.
+// Unlike math/rand it is guaranteed stable across platforms and Go
+// versions, so rankings derived from a beacon value never drift.
+type hashStream struct {
+	seed    hash.Digest
+	counter uint64
+	buf     []byte
+}
+
+func newHashStream(seed hash.Digest) *hashStream {
+	return &hashStream{seed: seed}
+}
+
+func (s *hashStream) next8() uint64 {
+	if len(s.buf) < 8 {
+		d := hash.Sum(hash.DomainRanking, s.seed[:], []byte{
+			byte(s.counter >> 56), byte(s.counter >> 48), byte(s.counter >> 40), byte(s.counter >> 32),
+			byte(s.counter >> 24), byte(s.counter >> 16), byte(s.counter >> 8), byte(s.counter),
+		})
+		s.counter++
+		s.buf = append(s.buf, d[:]...)
+	}
+	v := uint64(0)
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(s.buf[i])
+	}
+	s.buf = s.buf[8:]
+	return v
+}
+
+// uintn returns a uniform value in [0, n) by rejection sampling.
+func (s *hashStream) uintn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	limit := (^uint64(0) / n) * n
+	for {
+		v := s.next8()
+		if v < limit {
+			return v % n
+		}
+	}
+}

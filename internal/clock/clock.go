@@ -1,0 +1,68 @@
+// Package clock abstracts time for the consensus engines so the same
+// engine code runs against real wall-clock time (TCP deployments) and
+// simulated virtual time (the discrete-event simulator used by the
+// benchmarks). All protocol time is expressed as a time.Duration offset
+// from a common epoch.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock reports the current protocol time.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Wall is a Clock backed by the real monotonic clock, measuring elapsed
+// time since Start.
+type Wall struct {
+	start time.Time
+}
+
+// NewWall returns a wall clock whose epoch is now.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// NewWallAt returns a wall clock with the given epoch.
+func NewWallAt(start time.Time) *Wall { return &Wall{start: start} }
+
+// Now implements Clock.
+func (w *Wall) Now() time.Duration { return time.Since(w.start) }
+
+// Manual is a Clock whose time advances only when told to. Safe for
+// concurrent use. The zero value starts at time 0.
+type Manual struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Set moves the clock to t. Time never moves backwards; earlier values
+// are ignored.
+func (m *Manual) Set(t time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (m *Manual) Advance(d time.Duration) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now += d
+	return m.now
+}
+
+var (
+	_ Clock = (*Wall)(nil)
+	_ Clock = (*Manual)(nil)
+)

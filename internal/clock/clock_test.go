@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestManualStartsAtZero(t *testing.T) {
+	var m Manual
+	if m.Now() != 0 {
+		t.Fatalf("zero-value Manual reads %v", m.Now())
+	}
+}
+
+func TestManualAdvanceAndSet(t *testing.T) {
+	var m Manual
+	if got := m.Advance(50 * time.Millisecond); got != 50*time.Millisecond {
+		t.Fatalf("Advance returned %v", got)
+	}
+	m.Set(200 * time.Millisecond)
+	if m.Now() != 200*time.Millisecond {
+		t.Fatalf("Set: %v", m.Now())
+	}
+	// Time never moves backwards.
+	m.Set(100 * time.Millisecond)
+	if m.Now() != 200*time.Millisecond {
+		t.Fatalf("clock moved backwards to %v", m.Now())
+	}
+}
+
+func TestManualConcurrent(t *testing.T) {
+	var m Manual
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Advance(time.Microsecond)
+				_ = m.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Now() != 8*1000*time.Microsecond {
+		t.Fatalf("lost updates: %v", m.Now())
+	}
+}
+
+func TestWallMonotone(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("wall clock not advancing: %v then %v", a, b)
+	}
+}
+
+func TestWallAtEpoch(t *testing.T) {
+	w := NewWallAt(time.Now().Add(-time.Hour))
+	if w.Now() < time.Hour {
+		t.Fatalf("epoch offset lost: %v", w.Now())
+	}
+}

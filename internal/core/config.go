@@ -1,0 +1,140 @@
+// Package core implements the ICC family of atomic-broadcast engines:
+// ICC0 (paper §3, Figures 1 and 2), and — via dissemination wrappers in
+// the gossip and rbc packages — the ICC1 and ICC2 variants.
+//
+// The engine is an event-driven transliteration of the paper's blocking
+// pseudocode: every "wait for" clause of the Tree-Building Subprotocol
+// (Fig. 1) and the Finalization Subprotocol (Fig. 2) becomes a condition
+// re-evaluated whenever the pool changes or a timer fires.
+package core
+
+import (
+	"time"
+
+	"icc/internal/beacon"
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/keys"
+	"icc/internal/pool"
+	"icc/internal/types"
+)
+
+// PayloadSource provides block payloads. getPayload(B_p) of Fig. 1: the
+// implementation may inspect the parent and, through lookup, the whole
+// chain it extends (e.g. to avoid duplicating commands, paper §3.3).
+type PayloadSource interface {
+	GetPayload(round types.Round, parent *types.Block, lookup func(hash.Digest) *types.Block) []byte
+}
+
+// EmptyPayload proposes empty payloads (useful for protocol-only tests
+// and the "without load" scenario of Table 1).
+type EmptyPayload struct{}
+
+// GetPayload implements PayloadSource.
+func (EmptyPayload) GetPayload(types.Round, *types.Block, func(hash.Digest) *types.Block) []byte {
+	return nil
+}
+
+// SizedPayload proposes deterministic filler payloads of a fixed size,
+// modelling batches of user commands of a given volume.
+type SizedPayload struct {
+	Size int
+}
+
+// GetPayload implements PayloadSource.
+func (s SizedPayload) GetPayload(round types.Round, _ *types.Block, _ func(hash.Digest) *types.Block) []byte {
+	p := make([]byte, s.Size)
+	seed := hash.SumUint64(hash.DomainPayload, uint64(round))
+	for i := range p {
+		p[i] = seed[i%len(seed)]
+	}
+	return p
+}
+
+// Hooks are optional instrumentation callbacks; any field may be nil.
+type Hooks struct {
+	// OnEnterRound fires when the party computes the round's beacon and
+	// starts the round in earnest.
+	OnEnterRound func(k types.Round, now time.Duration)
+	// OnPropose fires when the party broadcasts its own block proposal.
+	OnPropose func(k types.Round, now time.Duration)
+	// OnFinishRound fires when the party sees a notarized block for its
+	// current round and moves on.
+	OnFinishRound func(k types.Round, now time.Duration)
+	// OnCommit fires for every block the Finalization Subprotocol
+	// outputs, in chain order.
+	OnCommit func(b *types.Block, now time.Duration)
+}
+
+// Config assembles an engine.
+type Config struct {
+	Self types.PartyID
+	Keys *keys.Public
+	Priv keys.Private
+
+	// Beacon is the random-beacon source. If nil, a production
+	// threshold-signature beacon is constructed from the key material.
+	Beacon beacon.Source
+
+	// DProp and DNtry are the Δprop and Δntry delay functions of Fig. 1.
+	// If nil, the recommended functions of eq. (2) are used with
+	// DeltaBound and Epsilon.
+	DProp, DNtry types.DelayFunc
+
+	// DeltaBound is Δbnd, the assumed network-delay bound of the partial
+	// synchrony assumption; Epsilon is the ε governor of eq. (2). Used
+	// only when DProp/DNtry are nil.
+	DeltaBound time.Duration
+	Epsilon    time.Duration
+
+	// Adaptive enables the adaptive delay variant discussed in §1: when
+	// consecutive rounds pass without any finalization, the engine
+	// doubles its working Δbnd (up to AdaptiveMax doublings), and resets
+	// it after a finalized round. Safety is unaffected — the delay
+	// functions only influence liveness.
+	Adaptive     bool
+	AdaptiveMax  int
+	adaptiveBase time.Duration
+
+	// Payload builds block payloads; defaults to EmptyPayload.
+	Payload PayloadSource
+
+	// MaxPayload rejects oversized incoming block payloads (0 = no
+	// limit); an application-specific validity condition (§3.4).
+	MaxPayload int
+
+	Hooks Hooks
+
+	// Pool tunes the artifact pool.
+	Pool pool.Options
+
+	// PruneDepth, if positive, prunes pool and beacon state more than
+	// this many rounds behind the finalized watermark.
+	PruneDepth types.Round
+}
+
+// withDefaults fills in derived fields.
+func (c Config) withDefaults() Config {
+	if c.DeltaBound == 0 {
+		c.DeltaBound = 100 * time.Millisecond
+	}
+	if c.DProp == nil || c.DNtry == nil {
+		dprop, dntry := types.StandardDelays(c.DeltaBound, c.Epsilon)
+		if c.DProp == nil {
+			c.DProp = dprop
+		}
+		if c.DNtry == nil {
+			c.DNtry = dntry
+		}
+	}
+	if c.Payload == nil {
+		c.Payload = EmptyPayload{}
+	}
+	if c.Beacon == nil {
+		c.Beacon = beacon.New(c.Keys.Beacon, c.Priv.Beacon, c.Self, c.Keys.GenesisSeed)
+	}
+	if c.AdaptiveMax == 0 {
+		c.AdaptiveMax = 6
+	}
+	c.adaptiveBase = c.DeltaBound
+	return c
+}

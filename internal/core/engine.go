@@ -1,0 +1,525 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/sig"
+	"icc/internal/engine"
+	"icc/internal/pool"
+	"icc/internal/types"
+)
+
+// Engine is one party's ICC0 protocol state machine: the Tree-Building
+// Subprotocol (Fig. 1) and the Finalization Subprotocol (Fig. 2) run
+// "concurrently" by sharing one event loop.
+type Engine struct {
+	cfg Config
+
+	pool *pool.Pool
+
+	// Tree-Building Subprotocol state for the current round.
+	round      types.Round // the round being worked on (k); starts at 1
+	inRound    bool        // false while waiting for the round's beacon
+	t0         time.Duration
+	perm       []types.PartyID
+	myRank     types.Rank
+	rankOf     map[types.PartyID]types.Rank
+	proposed   bool
+	notarized  map[hash.Digest]bool // N: blocks I notarization-shared
+	rankShared map[types.Rank]bool  // ranks with a block in N
+	disq       map[types.Rank]bool  // D: disqualified ranks
+	echoed     map[hash.Digest]bool // blocks already echoed (idempotence)
+
+	// Finalization Subprotocol state.
+	kmax    types.Round // highest finalized round output so far
+	pending map[types.Round]struct{}
+
+	// Adaptive-delay state.
+	adaptPow    int
+	lastFinal   types.Round // kmax at the last adaptation check
+	unfinalized int         // consecutive finished rounds without commit progress
+
+	out []engine.Output
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// NewEngine builds an ICC0 engine from a config.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		pool:    pool.New(cfg.Keys, cfg.Self, cfg.Pool),
+		round:   1,
+		pending: make(map[types.Round]struct{}),
+	}
+	e.resetRoundState()
+	return e
+}
+
+// ID implements engine.Engine.
+func (e *Engine) ID() types.PartyID { return e.cfg.Self }
+
+// CurrentRound implements engine.Engine.
+func (e *Engine) CurrentRound() types.Round { return e.round }
+
+// Pool exposes the artifact pool (read-only use by wrappers and tests).
+func (e *Engine) Pool() *pool.Pool { return e.pool }
+
+// FinalizedRound returns the highest round this party has committed.
+func (e *Engine) FinalizedRound() types.Round { return e.kmax }
+
+func (e *Engine) resetRoundState() {
+	e.inRound = false
+	e.proposed = false
+	e.notarized = make(map[hash.Digest]bool)
+	e.rankShared = make(map[types.Rank]bool)
+	e.disq = make(map[types.Rank]bool)
+	e.echoed = make(map[hash.Digest]bool)
+	e.perm = nil
+	e.rankOf = nil
+}
+
+// dprop and dntry apply the adaptive multiplier, if enabled.
+func (e *Engine) dprop(r types.Rank) time.Duration {
+	return e.cfg.DProp(r) << uint(e.adaptPow)
+}
+
+func (e *Engine) dntry(r types.Rank) time.Duration {
+	return e.cfg.DNtry(r) << uint(e.adaptPow)
+}
+
+// Init implements engine.Engine: "broadcast a share of the round-1
+// random beacon" (Fig. 1, first line).
+func (e *Engine) Init(now time.Duration) []engine.Output {
+	e.broadcastBeaconShare(1)
+	e.progress(now)
+	return e.drain()
+}
+
+// HandleMessage implements engine.Engine.
+func (e *Engine) HandleMessage(_ types.PartyID, m types.Message, now time.Duration) []engine.Output {
+	e.ingest(m)
+	e.progress(now)
+	return e.drain()
+}
+
+// Tick implements engine.Engine.
+func (e *Engine) Tick(now time.Duration) []engine.Output {
+	e.progress(now)
+	return e.drain()
+}
+
+// drain returns and clears the output buffer.
+func (e *Engine) drain() []engine.Output {
+	out := e.out
+	e.out = nil
+	return out
+}
+
+// emit queues a broadcast.
+func (e *Engine) emit(m types.Message) {
+	e.out = append(e.out, engine.Broadcast(m))
+}
+
+// ingest routes one received message into the pool/beacon. Invalid
+// artifacts are dropped silently (the sender may be corrupt; paper §3.1
+// makes no authenticity assumption beyond the signatures themselves).
+func (e *Engine) ingest(m types.Message) {
+	switch v := m.(type) {
+	case *types.Bundle:
+		for _, sub := range v.Messages {
+			e.ingest(sub)
+		}
+	case *types.BlockMsg:
+		if v.Block == nil {
+			return
+		}
+		if e.cfg.MaxPayload > 0 && len(v.Block.Payload) > e.cfg.MaxPayload {
+			return
+		}
+		e.pool.AddBlock(v.Block)
+	case *types.Authenticator:
+		e.pool.AddAuthenticator(v)
+	case *types.NotarizationShare:
+		e.pool.AddNotarizationShare(v)
+	case *types.Notarization:
+		e.pool.AddNotarization(v)
+	case *types.FinalizationShare:
+		e.pool.AddFinalizationShare(v)
+	case *types.Finalization:
+		e.pool.AddFinalization(v)
+	case *types.BeaconShare:
+		_ = e.cfg.Beacon.AddShare(v)
+	default:
+		// Gossip and RBC messages are handled by wrapper engines; a bare
+		// ICC0 engine ignores them.
+	}
+}
+
+// progress runs every protocol clause to quiescence.
+func (e *Engine) progress(now time.Duration) {
+	for {
+		moved := false
+		if !e.inRound {
+			moved = e.tryEnterRound(now) || moved
+		}
+		if e.inRound {
+			if e.tryFinishRound(now) {
+				// Round advanced; loop to enter the next one.
+				continue
+			}
+			moved = e.tryPropose(now) || moved
+			moved = e.tryEchoNotarize(now) || moved
+		}
+		moved = e.runFinalizer(now) || moved
+		if !moved {
+			return
+		}
+	}
+}
+
+// broadcastBeaconShare signs and broadcasts this party's share of the
+// round-k beacon (and records it locally).
+func (e *Engine) broadcastBeaconShare(k types.Round) {
+	share, err := e.cfg.Beacon.ShareForRound(k)
+	if err != nil {
+		return // R_{k−1} unknown; caller's state machine retries later
+	}
+	_ = e.cfg.Beacon.AddShare(share)
+	e.emit(share)
+}
+
+// tryEnterRound implements the preliminary step of each round: wait for
+// t+1 shares of the round-k beacon, compute it, broadcast a share of the
+// round-(k+1) beacon (pipelining), and set up round state.
+func (e *Engine) tryEnterRound(now time.Duration) bool {
+	k := e.round
+	if _, ok := e.cfg.Beacon.Reveal(k); !ok {
+		return false
+	}
+	e.broadcastBeaconShare(k + 1)
+	perm, _ := e.cfg.Beacon.Permutation(k)
+	e.perm = perm
+	e.rankOf = make(map[types.PartyID]types.Rank, len(perm))
+	for r, p := range perm {
+		e.rankOf[p] = types.Rank(r)
+	}
+	e.myRank = e.rankOf[e.cfg.Self]
+	e.t0 = now
+	e.inRound = true
+	if e.cfg.Hooks.OnEnterRound != nil {
+		e.cfg.Hooks.OnEnterRound(k, now)
+	}
+	return true
+}
+
+// tryFinishRound implements clause (a) of Fig. 1: on a notarized round-k
+// block (or a full set of notarization shares for a valid block),
+// broadcast the notarization, maybe a finalization share, and move on.
+func (e *Engine) tryFinishRound(now time.Duration) bool {
+	k := e.round
+	h, ok := e.pool.NotarizedInRound(k)
+	if !ok {
+		// Full share set for a valid but non-notarized block?
+		quorum := types.NotaryQuorum(e.cfg.Keys.N)
+		for _, h2 := range e.pool.BlocksInRound(k) {
+			if e.pool.Notarization(h2) != nil || e.pool.NotarShareCount(h2) < quorum || !e.pool.IsValid(h2) {
+				continue
+			}
+			b := e.pool.Block(h2)
+			msg := types.SigningBytes(k, b.Proposer, h2)
+			agg, err := e.cfg.Keys.Notary.Combine(types.DomainNotarization, msg, e.pool.NotarShares(h2))
+			if err != nil {
+				continue
+			}
+			nz := &types.Notarization{Round: k, Proposer: b.Proposer, BlockHash: h2, Agg: agg.Encode()}
+			if e.pool.AddNotarization(nz) {
+				h, ok = h2, true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	// Broadcast the notarization for B.
+	e.emit(e.pool.Notarization(h))
+	// If N ⊆ {B}, broadcast a finalization share for B.
+	if len(e.notarized) == 0 || (len(e.notarized) == 1 && e.notarized[h]) {
+		b := e.pool.Block(h)
+		msg := types.SigningBytes(k, b.Proposer, h)
+		fs := &types.FinalizationShare{
+			Round: k, Proposer: b.Proposer, BlockHash: h, Signer: e.cfg.Self,
+			Sig: sig.Sign(e.cfg.Priv.Final.Key, types.DomainFinalization, msg),
+		}
+		e.pool.AddFinalizationShare(fs)
+		e.emit(fs)
+	}
+	if e.cfg.Hooks.OnFinishRound != nil {
+		e.cfg.Hooks.OnFinishRound(k, now)
+	}
+	e.adaptDelays()
+	e.round = k + 1
+	e.resetRoundState()
+	return true
+}
+
+// adaptDelays implements the adaptive-Δbnd variant: double the working
+// delay bound after every window of finished-but-unfinalized rounds,
+// reset once finalization resumes (§1 "the ICC protocols can be modified
+// to adaptively adjust to an unknown communication-delay bound").
+func (e *Engine) adaptDelays() {
+	if !e.cfg.Adaptive {
+		return
+	}
+	if e.kmax > e.lastFinal {
+		e.lastFinal = e.kmax
+		e.unfinalized = 0
+		e.adaptPow = 0
+		return
+	}
+	e.unfinalized++
+	if e.unfinalized >= 2 && e.adaptPow < e.cfg.AdaptiveMax {
+		e.adaptPow++
+		e.unfinalized = 0
+	}
+}
+
+// tryPropose implements clause (b) of Fig. 1.
+func (e *Engine) tryPropose(now time.Duration) bool {
+	if e.proposed || now < e.t0+e.dprop(e.myRank) {
+		return false
+	}
+	k := e.round
+	parentHash, ok := e.pool.NotarizedInRound(k - 1)
+	if !ok {
+		return false // cannot happen: round k−1 finished with one
+	}
+	parent := e.pool.Block(parentHash)
+	payload := e.cfg.Payload.GetPayload(k, parent, e.pool.Block)
+	b := &types.Block{Round: k, Proposer: e.cfg.Self, ParentHash: parentHash, Payload: payload}
+	h := b.Hash()
+	auth := &types.Authenticator{
+		Round: k, Proposer: e.cfg.Self, BlockHash: h,
+		Sig: sig.Sign(e.cfg.Priv.Auth, types.DomainAuthenticator, types.SigningBytes(k, e.cfg.Self, h)),
+	}
+	e.pool.AddBlock(b)
+	e.pool.AddAuthenticator(auth)
+	bundle := &types.Bundle{Messages: []types.Message{&types.BlockMsg{Block: b}, auth}}
+	if nz := e.pool.Notarization(parentHash); nz != nil {
+		bundle.Messages = append(bundle.Messages, nz)
+	}
+	e.emit(bundle)
+	e.proposed = true
+	if e.cfg.Hooks.OnPropose != nil {
+		e.cfg.Hooks.OnPropose(k, now)
+	}
+	return true
+}
+
+// candidate is a valid round-k block awaiting clause (c) treatment.
+type candidate struct {
+	h    hash.Digest
+	rank types.Rank
+}
+
+// candidates lists the valid blocks of the current round with their
+// proposer ranks, sorted by rank.
+func (e *Engine) candidates() []candidate {
+	var cs []candidate
+	for _, h := range e.pool.BlocksInRound(e.round) {
+		if !e.pool.IsValid(h) {
+			continue
+		}
+		b := e.pool.Block(h)
+		r, ok := e.rankOf[b.Proposer]
+		if !ok {
+			continue
+		}
+		cs = append(cs, candidate{h: h, rank: r})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].rank != cs[j].rank {
+			return cs[i].rank < cs[j].rank
+		}
+		// Equivocating proposers: deterministic order by hash.
+		for b := 0; b < hash.Size; b++ {
+			if cs[i].h[b] != cs[j].h[b] {
+				return cs[i].h[b] < cs[j].h[b]
+			}
+		}
+		return false
+	})
+	return cs
+}
+
+// tryEchoNotarize implements clause (c) of Fig. 1: echo qualifying
+// blocks and either notarization-share them or disqualify their rank.
+func (e *Engine) tryEchoNotarize(now time.Duration) bool {
+	cs := e.candidates()
+	moved := false
+	for _, c := range cs {
+		if e.notarized[c.h] || e.disq[c.rank] {
+			continue
+		}
+		if now < e.t0+e.dntry(c.rank) {
+			continue
+		}
+		// "there is no valid round-k block B* of rank r* ∈ [r] \ D"
+		blocked := false
+		for _, other := range cs {
+			if other.rank >= c.rank {
+				break
+			}
+			if !e.disq[other.rank] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		b := e.pool.Block(c.h)
+		// Echo the block (not our own proposal — we broadcast that when
+		// proposing).
+		if c.rank != e.myRank && !e.echoed[c.h] {
+			e.echoed[c.h] = true
+			bundle := &types.Bundle{Messages: []types.Message{
+				&types.BlockMsg{Block: b},
+				e.pool.Authenticator(c.h),
+			}}
+			if nz := e.pool.Notarization(b.ParentHash); nz != nil {
+				bundle.Messages = append(bundle.Messages, nz)
+			}
+			e.emit(bundle)
+		}
+		if e.rankShared[c.rank] {
+			// Second distinct block of this rank: the proposer
+			// equivocated — disqualify the rank.
+			e.disq[c.rank] = true
+		} else {
+			e.notarized[c.h] = true
+			e.rankShared[c.rank] = true
+			msg := types.SigningBytes(e.round, b.Proposer, c.h)
+			ns := &types.NotarizationShare{
+				Round: e.round, Proposer: b.Proposer, BlockHash: c.h, Signer: e.cfg.Self,
+				Sig: e.cfg.Priv.Notary.Sign(types.DomainNotarization, msg).Signature,
+			}
+			e.pool.AddNotarizationShare(ns)
+			e.emit(ns)
+		}
+		moved = true
+	}
+	return moved
+}
+
+// runFinalizer implements Fig. 2: whenever a round above kmax has a
+// finalized block (or a full set of finalization shares for a valid
+// block), broadcast the finalization and output the chain suffix.
+func (e *Engine) runFinalizer(now time.Duration) bool {
+	for _, k := range e.pool.DirtyFinalizableRounds() {
+		if k > e.kmax {
+			e.pending[k] = struct{}{}
+		}
+	}
+	if len(e.pending) == 0 {
+		return false
+	}
+	rounds := make([]types.Round, 0, len(e.pending))
+	for k := range e.pending {
+		rounds = append(rounds, k)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	moved := false
+	for _, k := range rounds {
+		if k <= e.kmax {
+			delete(e.pending, k)
+			continue
+		}
+		if e.tryCommitRound(k, now) {
+			delete(e.pending, k)
+			moved = true
+		}
+	}
+	return moved
+}
+
+// tryCommitRound attempts Fig. 2's body for one round.
+func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
+	quorum := types.NotaryQuorum(e.cfg.Keys.N)
+	for _, h := range e.pool.BlocksInRound(k) {
+		finalized := e.pool.IsFinalized(h)
+		if !finalized {
+			if e.pool.FinalShareCount(h) < quorum || !e.pool.IsValid(h) {
+				continue
+			}
+			b := e.pool.Block(h)
+			msg := types.SigningBytes(k, b.Proposer, h)
+			agg, err := e.cfg.Keys.Final.Combine(types.DomainFinalization, msg, e.pool.FinalShares(h))
+			if err != nil {
+				continue
+			}
+			fin := &types.Finalization{Round: k, Proposer: b.Proposer, BlockHash: h, Agg: agg.Encode()}
+			if !e.pool.AddFinalization(fin) {
+				continue
+			}
+		}
+		// Broadcast the finalization and output the last k − kmax blocks
+		// of the chain ending at B.
+		chain := e.pool.Chain(h, e.kmax)
+		if chain == nil {
+			return false // ancestors missing; retry when they arrive
+		}
+		e.emit(e.pool.Finalization(h))
+		for _, b := range chain {
+			if e.cfg.Hooks.OnCommit != nil {
+				e.cfg.Hooks.OnCommit(b, now)
+			}
+		}
+		e.kmax = k
+		e.maybePrune()
+		return true
+	}
+	return false
+}
+
+// maybePrune applies PruneDepth-based garbage collection.
+func (e *Engine) maybePrune() {
+	if e.cfg.PruneDepth <= 0 || e.kmax <= e.cfg.PruneDepth {
+		return
+	}
+	cut := e.kmax - e.cfg.PruneDepth
+	e.pool.Prune(cut)
+	e.cfg.Beacon.Prune(cut)
+}
+
+// NextWake implements engine.Engine: the earliest future Δprop/Δntry
+// boundary that could newly enable clause (b) or (c).
+func (e *Engine) NextWake(now time.Duration) (time.Duration, bool) {
+	if !e.inRound {
+		return 0, false // waiting on messages (beacon shares) only
+	}
+	var earliest time.Duration
+	have := false
+	consider := func(t time.Duration) {
+		if t <= now {
+			return
+		}
+		if !have || t < earliest {
+			earliest, have = t, true
+		}
+	}
+	if !e.proposed {
+		consider(e.t0 + e.dprop(e.myRank))
+	}
+	for _, c := range e.candidates() {
+		if e.notarized[c.h] || e.disq[c.rank] {
+			continue
+		}
+		consider(e.t0 + e.dntry(c.rank))
+	}
+	return earliest, have
+}

@@ -1,0 +1,132 @@
+package bls
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	sk, pk, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("beacon round 1")
+	sig := sk.Sign(msg)
+	if err := pk.Verify(msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := pk.Verify([]byte("other"), sig); err == nil {
+		t.Fatal("wrong message verified")
+	}
+	_, pk2, _ := GenerateKey(rand.Reader)
+	if err := pk2.Verify(msg, sig); err == nil {
+		t.Fatal("wrong key verified")
+	}
+	if err := pk.Verify(msg, &Signature{s: G1Infinity()}); err == nil {
+		t.Fatal("identity signature verified")
+	}
+	if err := pk.Verify(msg, nil); err == nil {
+		t.Fatal("nil signature verified")
+	}
+}
+
+func TestSignaturesUnique(t *testing.T) {
+	sk, _, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("determinism")
+	if !sk.Sign(msg).Equal(sk.Sign(msg)) {
+		t.Fatal("BLS signature not deterministic/unique")
+	}
+}
+
+func TestThresholdDealCombineVerify(t *testing.T) {
+	const n, th = 5, 3
+	pub, keys, err := DealThreshold(rand.Reader, th, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("threshold message")
+	shares := make([]*SigShare, n)
+	for i, k := range keys {
+		shares[i] = k.SignShare(msg)
+		if err := pub.VerifyShare(msg, shares[i]); err != nil {
+			t.Fatalf("share %d rejected: %v", i, err)
+		}
+	}
+	sig1, err := pub.Combine(msg, shares[:th])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.VerifyCombined(msg, sig1); err != nil {
+		t.Fatalf("combined signature rejected by pairing check: %v", err)
+	}
+	// Uniqueness across subsets.
+	sig2, err := pub.Combine(msg, shares[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig1.Equal(sig2) {
+		t.Fatal("threshold signature differs across share subsets")
+	}
+}
+
+func TestThresholdRejectsBadShares(t *testing.T) {
+	const n, th = 4, 2
+	pub, keys, err := DealThreshold(rand.Reader, th, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	// Share signed with the wrong key claiming another index.
+	forged := keys[1].SignShare(msg)
+	forged.Index = 0
+	if err := pub.VerifyShare(msg, forged); err == nil {
+		t.Fatal("forged share accepted")
+	}
+	// Combine skips junk and still succeeds with enough honest shares.
+	good0 := keys[0].SignShare(msg)
+	good2 := keys[2].SignShare(msg)
+	sig, err := pub.Combine(msg, []*SigShare{nil, forged, good0, good0, good2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.VerifyCombined(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	// Below threshold fails.
+	if _, err := pub.Combine(msg, []*SigShare{good0}); err == nil {
+		t.Fatal("combined below threshold")
+	}
+}
+
+func TestDealThresholdValidation(t *testing.T) {
+	if _, _, err := DealThreshold(rand.Reader, 0, 3); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, _, err := DealThreshold(rand.Reader, 4, 3); err == nil {
+		t.Fatal("threshold > n accepted")
+	}
+}
+
+func BenchmarkBLSSign(b *testing.B) {
+	sk, _, _ := GenerateKey(rand.Reader)
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Sign(msg)
+	}
+}
+
+func BenchmarkBLSVerify(b *testing.B) {
+	sk, pk, _ := GenerateKey(rand.Reader)
+	msg := []byte("bench")
+	sig := sk.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pk.Verify(msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

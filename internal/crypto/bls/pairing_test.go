@@ -1,0 +1,131 @@
+package bls
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestFieldTowerBasics(t *testing.T) {
+	// Fp2: u² = −1.
+	u := fp2FromInts(0, 1)
+	if !u.mul(u).equal(fp2FromInts(-1, 0)) {
+		t.Fatal("u² != −1")
+	}
+	a := fp2FromInts(3, 7)
+	if !a.mul(a.inv()).equal(fp2One()) {
+		t.Fatal("fp2 inverse")
+	}
+	// Fp6: v³ = ξ.
+	v := fp6{fp2Zero(), fp2One(), fp2Zero()}
+	v3 := v.mul(v).mul(v)
+	if !v3.equal(fp6{xi(), fp2Zero(), fp2Zero()}) {
+		t.Fatal("v³ != ξ")
+	}
+	b := fp6{fp2FromInts(1, 2), fp2FromInts(3, 4), fp2FromInts(5, 6)}
+	if !b.mul(b.inv()).equal(fp6One()) {
+		t.Fatal("fp6 inverse")
+	}
+	if !b.mulV().equal(b.mul(v)) {
+		t.Fatal("mulV shortcut wrong")
+	}
+	// Fp12: w² = v.
+	w := wPow(1)
+	if !w.mul(w).equal(wPow(2)) {
+		t.Fatal("w² mismatch")
+	}
+	if !w.mul(w).mul(w).equal(wPow(3)) {
+		t.Fatal("w³ mismatch")
+	}
+	c := fp12{b, fp6{fp2FromInts(7, 8), fp2FromInts(9, 1), fp2FromInts(2, 3)}}
+	if !c.mul(c.inv()).equal(fp12One()) {
+		t.Fatal("fp12 inverse")
+	}
+}
+
+func TestGeneratorsOnCurveAndOrder(t *testing.T) {
+	g1 := G1Generator()
+	if !g1.IsOnCurve() {
+		t.Fatal("G1 generator off curve")
+	}
+	if !g1.Mul(R).IsInfinity() {
+		t.Fatal("r·G1 != ∞")
+	}
+	g2 := G2Generator()
+	if !g2.IsOnCurve() {
+		t.Fatal("G2 generator off curve")
+	}
+	if !g2.Mul(R).IsInfinity() {
+		t.Fatal("r·G2 != ∞")
+	}
+	// Small-multiple consistency.
+	if !g1.Add(g1).Equal(g1.Mul(big.NewInt(2))) {
+		t.Fatal("G1 doubling mismatch")
+	}
+	if !g2.Add(g2).Equal(g2.Mul(big.NewInt(2))) {
+		t.Fatal("G2 doubling mismatch")
+	}
+}
+
+func TestPairingBilinear(t *testing.T) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	e := Pair(g1, g2)
+	if e.equal(fp12One()) {
+		t.Fatal("pairing degenerate: e(G1, G2) = 1")
+	}
+	// e(G1,G2)^r == 1 (image has order r).
+	if !e.exp(R).equal(fp12One()) {
+		t.Fatal("pairing image not of order r")
+	}
+	a := big.NewInt(7)
+	b := big.NewInt(11)
+	// e(aP, Q) == e(P,Q)^a
+	left := Pair(g1.Mul(a), g2)
+	if !left.equal(e.exp(a)) {
+		t.Fatal("bilinearity in first argument failed")
+	}
+	// e(P, bQ) == e(P,Q)^b
+	right := Pair(g1, g2.Mul(b))
+	if !right.equal(e.exp(b)) {
+		t.Fatal("bilinearity in second argument failed")
+	}
+	// e(aP, bQ) == e(bP, aQ)
+	if !Pair(g1.Mul(a), g2.Mul(b)).equal(Pair(g1.Mul(b), g2.Mul(a))) {
+		t.Fatal("cross bilinearity failed")
+	}
+}
+
+func TestPairingIdentityArguments(t *testing.T) {
+	if !Pair(G1Infinity(), G2Generator()).equal(fp12One()) {
+		t.Fatal("e(∞, Q) != 1")
+	}
+	if !Pair(G1Generator(), G2Infinity()).equal(fp12One()) {
+		t.Fatal("e(P, ∞) != 1")
+	}
+}
+
+func TestHashToG1(t *testing.T) {
+	p := HashToG1([]byte("message"))
+	if !p.IsOnCurve() || p.IsInfinity() {
+		t.Fatal("hash output invalid")
+	}
+	if !p.Mul(R).IsInfinity() {
+		t.Fatal("hash output not in the order-r subgroup")
+	}
+	q := HashToG1([]byte("message"))
+	if !p.Equal(q) {
+		t.Fatal("hash not deterministic")
+	}
+	if HashToG1([]byte("other")).Equal(p) {
+		t.Fatal("distinct messages collided")
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(g1, g2)
+	}
+}

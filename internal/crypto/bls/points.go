@@ -1,0 +1,281 @@
+package bls
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"icc/internal/crypto/hash"
+)
+
+// G1 generator (standard BLS12-381 constants).
+var (
+	g1GenX, _ = new(big.Int).SetString("17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb", 16)
+	g1GenY, _ = new(big.Int).SetString("08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1", 16)
+)
+
+// G2 generator coordinates (x = x0 + x1·u, y = y0 + y1·u).
+var (
+	g2GenX0, _ = new(big.Int).SetString("024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8", 16)
+	g2GenX1, _ = new(big.Int).SetString("13e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e", 16)
+	g2GenY0, _ = new(big.Int).SetString("0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a76d429a695160d12c923ac9cc3baca289e193548608b82801", 16)
+	g2GenY1, _ = new(big.Int).SetString("0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be", 16)
+)
+
+// G1Point is an affine point on E: y² = x³ + 4 over Fp (nil coords =
+// identity).
+type G1Point struct {
+	x, y *big.Int
+}
+
+// G1Infinity returns the identity.
+func G1Infinity() *G1Point { return &G1Point{} }
+
+// G1Generator returns the standard generator.
+func G1Generator() *G1Point {
+	return &G1Point{new(big.Int).Set(g1GenX), new(big.Int).Set(g1GenY)}
+}
+
+// IsInfinity reports whether the point is the identity.
+func (p *G1Point) IsInfinity() bool { return p.x == nil }
+
+// Equal reports point equality.
+func (p *G1Point) Equal(q *G1Point) bool {
+	if p.IsInfinity() || q.IsInfinity() {
+		return p.IsInfinity() && q.IsInfinity()
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+// IsOnCurve verifies the curve equation.
+func (p *G1Point) IsOnCurve() bool {
+	if p.IsInfinity() {
+		return true
+	}
+	lhs := fpMul(p.y, p.y)
+	rhs := fpAdd(fpMul(fpMul(p.x, p.x), p.x), curveB4)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Add returns p + q (affine formulas).
+func (p *G1Point) Add(q *G1Point) *G1Point {
+	if p.IsInfinity() {
+		return &G1Point{cp(q.x), cp(q.y)}
+	}
+	if q.IsInfinity() {
+		return &G1Point{cp(p.x), cp(p.y)}
+	}
+	if p.x.Cmp(q.x) == 0 {
+		if p.y.Cmp(q.y) != 0 || p.y.Sign() == 0 {
+			return G1Infinity()
+		}
+		// Doubling: λ = 3x²/2y.
+		num := fpMul(big.NewInt(3), fpMul(p.x, p.x))
+		den := fpInv(fpAdd(p.y, p.y))
+		return g1Chord(p, p, fpMul(num, den))
+	}
+	lam := fpMul(fpSub(q.y, p.y), fpInv(fpSub(q.x, p.x)))
+	return g1Chord(p, q, lam)
+}
+
+func g1Chord(p, q *G1Point, lam *big.Int) *G1Point {
+	x3 := fpSub(fpSub(fpMul(lam, lam), p.x), q.x)
+	y3 := fpSub(fpMul(lam, fpSub(p.x, x3)), p.y)
+	return &G1Point{x3, y3}
+}
+
+func cp(v *big.Int) *big.Int {
+	if v == nil {
+		return nil
+	}
+	return new(big.Int).Set(v)
+}
+
+// Neg returns −p.
+func (p *G1Point) Neg() *G1Point {
+	if p.IsInfinity() {
+		return G1Infinity()
+	}
+	return &G1Point{cp(p.x), fpNeg(p.y)}
+}
+
+// Mul returns k·p (double-and-add; k reduced mod R).
+func (p *G1Point) Mul(k *big.Int) *G1Point {
+	kk := new(big.Int).Mod(k, R)
+	acc := G1Infinity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Add(acc)
+		if kk.Bit(i) == 1 {
+			acc = acc.Add(p)
+		}
+	}
+	return acc
+}
+
+// mulRaw multiplies by an arbitrary (unreduced) integer — used for
+// cofactor clearing, where the multiplier exceeds R.
+func (p *G1Point) mulRaw(k *big.Int) *G1Point {
+	acc := G1Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Add(acc)
+		if k.Bit(i) == 1 {
+			acc = acc.Add(p)
+		}
+	}
+	return acc
+}
+
+// HashToG1 maps a message to a point of order R via deterministic
+// try-and-increment followed by cofactor clearing. (Production systems
+// use constant-time SWU; grinding is fine for a reproduction — the
+// output distribution is indistinguishable either way.)
+func HashToG1(msg []byte) *G1Point {
+	for ctr := uint64(0); ; ctr++ {
+		d := hash.SumUint64("bls/hash-to-g1", ctr)
+		d2 := hash.Sum("bls/hash-to-g1-x", d[:], msg)
+		// Two digests give 512 bits; reduce mod P for negligible bias.
+		d3 := hash.Sum("bls/hash-to-g1-x2", d[:], msg)
+		x := new(big.Int).SetBytes(append(d2[:], d3[:16]...))
+		x.Mod(x, P)
+		rhs := fpAdd(fpMul(fpMul(x, x), x), curveB4)
+		y := fpSqrt(rhs)
+		if y == nil {
+			continue
+		}
+		// Canonical sign: pick the even root.
+		if y.Bit(0) == 1 {
+			y = fpNeg(y)
+		}
+		p := (&G1Point{x, y}).mulRaw(g1CofactorH)
+		if !p.IsInfinity() {
+			return p
+		}
+	}
+}
+
+// G2Point is an affine point on E': y² = x³ + 4(1+u) over Fp2.
+type G2Point struct {
+	x, y fp2
+	inf  bool
+}
+
+// G2Infinity returns the identity.
+func G2Infinity() *G2Point { return &G2Point{inf: true} }
+
+// G2Generator returns the standard generator.
+func G2Generator() *G2Point {
+	return &G2Point{
+		x: fp2{new(big.Int).Set(g2GenX0), new(big.Int).Set(g2GenX1)},
+		y: fp2{new(big.Int).Set(g2GenY0), new(big.Int).Set(g2GenY1)},
+	}
+}
+
+// IsInfinity reports whether the point is the identity.
+func (p *G2Point) IsInfinity() bool { return p.inf }
+
+// Equal reports point equality.
+func (p *G2Point) Equal(q *G2Point) bool {
+	if p.inf || q.inf {
+		return p.inf && q.inf
+	}
+	return p.x.equal(q.x) && p.y.equal(q.y)
+}
+
+// IsOnCurve verifies the twisted curve equation y² = x³ + 4ξ.
+func (p *G2Point) IsOnCurve() bool {
+	if p.inf {
+		return true
+	}
+	lhs := p.y.square()
+	rhs := p.x.square().mul(p.x).add(xi().mulScalar(curveB4))
+	return lhs.equal(rhs)
+}
+
+// Add returns p + q.
+func (p *G2Point) Add(q *G2Point) *G2Point {
+	if p.inf {
+		return &G2Point{x: q.x, y: q.y, inf: q.inf}
+	}
+	if q.inf {
+		return &G2Point{x: p.x, y: p.y, inf: p.inf}
+	}
+	if p.x.equal(q.x) {
+		if !p.y.equal(q.y) || p.y.isZero() {
+			return G2Infinity()
+		}
+		num := p.x.square().mulScalar(big.NewInt(3))
+		den := p.y.add(p.y).inv()
+		return g2Chord(p, p, num.mul(den))
+	}
+	lam := q.y.sub(p.y).mul(q.x.sub(p.x).inv())
+	return g2Chord(p, q, lam)
+}
+
+func g2Chord(p, q *G2Point, lam fp2) *G2Point {
+	x3 := lam.square().sub(p.x).sub(q.x)
+	y3 := lam.mul(p.x.sub(x3)).sub(p.y)
+	return &G2Point{x: x3, y: y3}
+}
+
+// Neg returns −p.
+func (p *G2Point) Neg() *G2Point {
+	if p.inf {
+		return G2Infinity()
+	}
+	return &G2Point{x: p.x, y: p.y.neg()}
+}
+
+// Mul returns k·p (k reduced mod R).
+func (p *G2Point) Mul(k *big.Int) *G2Point {
+	kk := new(big.Int).Mod(k, R)
+	acc := G2Infinity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Add(acc)
+		if kk.Bit(i) == 1 {
+			acc = acc.Add(p)
+		}
+	}
+	return acc
+}
+
+// G1PointLen is the uncompressed encoding length (x ‖ y, 48 bytes each).
+const G1PointLen = 96
+
+// Encode serialises the point uncompressed; the identity is all zeros.
+func (p *G1Point) Encode() []byte {
+	out := make([]byte, G1PointLen)
+	if p.IsInfinity() {
+		return out
+	}
+	p.x.FillBytes(out[:48])
+	p.y.FillBytes(out[48:])
+	return out
+}
+
+// DecodeG1 parses an encoding produced by Encode, rejecting off-curve
+// points.
+func DecodeG1(b []byte) (*G1Point, error) {
+	if len(b) != G1PointLen {
+		return nil, fmt.Errorf("bls: bad G1 encoding length %d", len(b))
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return G1Infinity(), nil
+	}
+	x := new(big.Int).SetBytes(b[:48])
+	y := new(big.Int).SetBytes(b[48:])
+	if x.Cmp(P) >= 0 || y.Cmp(P) >= 0 {
+		return nil, errors.New("bls: G1 coordinate out of range")
+	}
+	p := &G1Point{x: x, y: y}
+	if !p.IsOnCurve() {
+		return nil, errors.New("bls: point not on curve")
+	}
+	return p, nil
+}

@@ -1,0 +1,137 @@
+package bls
+
+import "math/big"
+
+// fp6 is Fp2[v]/(v³ − ξ): b0 + b1·v + b2·v², ξ = 1 + u.
+type fp6 struct {
+	b0, b1, b2 fp2
+}
+
+func fp6Zero() fp6 { return fp6{fp2Zero(), fp2Zero(), fp2Zero()} }
+func fp6One() fp6  { return fp6{fp2One(), fp2Zero(), fp2Zero()} }
+
+func (x fp6) isZero() bool { return x.b0.isZero() && x.b1.isZero() && x.b2.isZero() }
+
+func (x fp6) equal(y fp6) bool {
+	return x.b0.equal(y.b0) && x.b1.equal(y.b1) && x.b2.equal(y.b2)
+}
+
+func (x fp6) add(y fp6) fp6 { return fp6{x.b0.add(y.b0), x.b1.add(y.b1), x.b2.add(y.b2)} }
+
+func (x fp6) sub(y fp6) fp6 { return fp6{x.b0.sub(y.b0), x.b1.sub(y.b1), x.b2.sub(y.b2)} }
+
+func (x fp6) neg() fp6 { return fp6{x.b0.neg(), x.b1.neg(), x.b2.neg()} }
+
+// mul is schoolbook multiplication with v³ = ξ reduction.
+func (x fp6) mul(y fp6) fp6 {
+	t00 := x.b0.mul(y.b0)
+	t01 := x.b0.mul(y.b1)
+	t02 := x.b0.mul(y.b2)
+	t10 := x.b1.mul(y.b0)
+	t11 := x.b1.mul(y.b1)
+	t12 := x.b1.mul(y.b2)
+	t20 := x.b2.mul(y.b0)
+	t21 := x.b2.mul(y.b1)
+	t22 := x.b2.mul(y.b2)
+	// v⁰: t00 + ξ(t12 + t21)
+	c0 := t00.add(t12.add(t21).mulXi())
+	// v¹: t01 + t10 + ξ·t22
+	c1 := t01.add(t10).add(t22.mulXi())
+	// v²: t02 + t11 + t20
+	c2 := t02.add(t11).add(t20)
+	return fp6{c0, c1, c2}
+}
+
+func (x fp6) square() fp6 { return x.mul(x) }
+
+// mulV multiplies by v: (b0 + b1·v + b2·v²)·v = ξ·b2 + b0·v + b1·v².
+func (x fp6) mulV() fp6 { return fp6{x.b2.mulXi(), x.b0, x.b1} }
+
+// inv inverts via the standard norm construction for cubic extensions.
+func (x fp6) inv() fp6 {
+	// c0 = b0² − ξ·b1·b2
+	c0 := x.b0.square().sub(x.b1.mul(x.b2).mulXi())
+	// c1 = ξ·b2² − b0·b1
+	c1 := x.b2.square().mulXi().sub(x.b0.mul(x.b1))
+	// c2 = b1² − b0·b2
+	c2 := x.b1.square().sub(x.b0.mul(x.b2))
+	// norm = b0·c0 + ξ(b1·c2 + b2·c1)
+	norm := x.b0.mul(c0).add(x.b1.mul(c2).add(x.b2.mul(c1)).mulXi())
+	ni := norm.inv()
+	return fp6{c0.mul(ni), c1.mul(ni), c2.mul(ni)}
+}
+
+// fp12 is Fp6[w]/(w² − v): c0 + c1·w.
+type fp12 struct {
+	c0, c1 fp6
+}
+
+func fp12One() fp12 { return fp12{fp6One(), fp6Zero()} }
+
+func (x fp12) isZero() bool { return x.c0.isZero() && x.c1.isZero() }
+
+func (x fp12) equal(y fp12) bool { return x.c0.equal(y.c0) && x.c1.equal(y.c1) }
+
+func (x fp12) add(y fp12) fp12 { return fp12{x.c0.add(y.c0), x.c1.add(y.c1)} }
+
+func (x fp12) sub(y fp12) fp12 { return fp12{x.c0.sub(y.c0), x.c1.sub(y.c1)} }
+
+// mul: (c0 + c1·w)(d0 + d1·w) = (c0d0 + v·c1d1) + (c0d1 + c1d0)·w.
+func (x fp12) mul(y fp12) fp12 {
+	t0 := x.c0.mul(y.c0)
+	t1 := x.c1.mul(y.c1)
+	t2 := x.c0.add(x.c1).mul(y.c0.add(y.c1))
+	lo := t0.add(t1.mulV())
+	hi := t2.sub(t0).sub(t1)
+	return fp12{lo, hi}
+}
+
+func (x fp12) square() fp12 { return x.mul(x) }
+
+// inv: 1/(c0 + c1·w) = (c0 − c1·w)/(c0² − v·c1²).
+func (x fp12) inv() fp12 {
+	norm := x.c0.square().sub(x.c1.square().mulV())
+	ni := norm.inv()
+	return fp12{x.c0.mul(ni), x.c1.neg().mul(ni)}
+}
+
+// exp computes x^e for e ≥ 0 by square-and-multiply.
+func (x fp12) exp(e *big.Int) fp12 {
+	if e.Sign() == 0 {
+		return fp12One()
+	}
+	acc := fp12One()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc = acc.square()
+		if e.Bit(i) == 1 {
+			acc = acc.mul(x)
+		}
+	}
+	return acc
+}
+
+// fp12FromFp2 embeds an Fp2 element into Fp12 (as c0.b0).
+func fp12FromFp2(a fp2) fp12 {
+	return fp12{fp6{a, fp2Zero(), fp2Zero()}, fp6Zero()}
+}
+
+// fp12FromFp embeds a base-field element.
+func fp12FromFp(a *big.Int) fp12 {
+	v := new(big.Int).Mod(a, P)
+	return fp12FromFp2(fp2{v, new(big.Int)})
+}
+
+// wPow returns w^k for k in {1, 2, 3} — the twisting constants:
+// w² = v, w³ = v·w.
+func wPow(k int) fp12 {
+	switch k {
+	case 1:
+		return fp12{fp6Zero(), fp6One()}
+	case 2:
+		return fp12{fp6{fp2Zero(), fp2One(), fp2Zero()}, fp6Zero()}
+	case 3:
+		return fp12{fp6Zero(), fp6{fp2Zero(), fp2One(), fp2Zero()}}
+	default:
+		panic("bls: unsupported w power")
+	}
+}

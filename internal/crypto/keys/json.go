@@ -1,0 +1,167 @@
+package keys
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"icc/internal/crypto/ec"
+	"icc/internal/crypto/multisig"
+	"icc/internal/crypto/sig"
+	"icc/internal/crypto/thresig"
+	"icc/internal/types"
+)
+
+// The JSON forms below exist so that cmd/icckeygen can write key files
+// that cmd/iccnode reads back; all binary values are hex strings.
+
+type jsonPublic struct {
+	N           int      `json:"n"`
+	T           int      `json:"t"`
+	Auth        []string `json:"auth_keys"`
+	Notary      []string `json:"notary_keys"`
+	Final       []string `json:"final_keys"`
+	BeaconGlob  string   `json:"beacon_global"`
+	BeaconShare []string `json:"beacon_share_keys"`
+	GenesisSeed string   `json:"genesis_seed"`
+}
+
+type jsonPrivate struct {
+	Index  int    `json:"index"`
+	Auth   string `json:"auth_sk"`
+	Notary string `json:"notary_sk"`
+	Final  string `json:"final_sk"`
+	Beacon string `json:"beacon_sk"`
+}
+
+func hexKeys[T ~[]byte](ks []T) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = hex.EncodeToString(k)
+	}
+	return out
+}
+
+func unhexKeys(ss []string) ([]sig.PublicKey, error) {
+	out := make([]sig.PublicKey, len(ss))
+	for i, s := range ss {
+		b, err := hex.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("keys: bad hex at %d: %w", i, err)
+		}
+		out[i] = sig.PublicKey(b)
+	}
+	return out, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Public) MarshalJSON() ([]byte, error) {
+	shares := make([]string, len(p.Beacon.Shares))
+	for i, pt := range p.Beacon.Shares {
+		shares[i] = hex.EncodeToString(pt.Encode())
+	}
+	return json.Marshal(jsonPublic{
+		N:           p.N,
+		T:           p.T,
+		Auth:        hexKeys(p.Auth),
+		Notary:      hexKeys(p.Notary.Keys),
+		Final:       hexKeys(p.Final.Keys),
+		BeaconGlob:  hex.EncodeToString(p.Beacon.Global.Encode()),
+		BeaconShare: shares,
+		GenesisSeed: hex.EncodeToString(p.GenesisSeed),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Public) UnmarshalJSON(b []byte) error {
+	var j jsonPublic
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	auth, err := unhexKeys(j.Auth)
+	if err != nil {
+		return err
+	}
+	notary, err := unhexKeys(j.Notary)
+	if err != nil {
+		return err
+	}
+	final, err := unhexKeys(j.Final)
+	if err != nil {
+		return err
+	}
+	globRaw, err := hex.DecodeString(j.BeaconGlob)
+	if err != nil {
+		return fmt.Errorf("keys: beacon global: %w", err)
+	}
+	glob, err := ec.DecodePoint(globRaw)
+	if err != nil {
+		return fmt.Errorf("keys: beacon global: %w", err)
+	}
+	shares := make([]*ec.Point, len(j.BeaconShare))
+	for i, s := range j.BeaconShare {
+		raw, err := hex.DecodeString(s)
+		if err != nil {
+			return fmt.Errorf("keys: beacon share %d: %w", i, err)
+		}
+		if shares[i], err = ec.DecodePoint(raw); err != nil {
+			return fmt.Errorf("keys: beacon share %d: %w", i, err)
+		}
+	}
+	seed, err := hex.DecodeString(j.GenesisSeed)
+	if err != nil {
+		return fmt.Errorf("keys: genesis seed: %w", err)
+	}
+	p.N, p.T = j.N, j.T
+	p.Auth = auth
+	p.Notary = &multisig.PublicInfo{N: j.N, Threshold: types.NotaryQuorum(j.N), Keys: notary}
+	p.Final = &multisig.PublicInfo{N: j.N, Threshold: types.NotaryQuorum(j.N), Keys: final}
+	p.Beacon = &thresig.PublicInfo{N: j.N, Threshold: types.BeaconQuorum(j.N), Global: glob, Shares: shares}
+	p.GenesisSeed = seed
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Private) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonPrivate{
+		Index:  int(p.Index),
+		Auth:   hex.EncodeToString(p.Auth),
+		Notary: hex.EncodeToString(p.Notary.Key),
+		Final:  hex.EncodeToString(p.Final.Key),
+		Beacon: hex.EncodeToString(p.Beacon.Key.Encode()),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Private) UnmarshalJSON(b []byte) error {
+	var j jsonPrivate
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	auth, err := hex.DecodeString(j.Auth)
+	if err != nil {
+		return fmt.Errorf("keys: auth sk: %w", err)
+	}
+	notary, err := hex.DecodeString(j.Notary)
+	if err != nil {
+		return fmt.Errorf("keys: notary sk: %w", err)
+	}
+	final, err := hex.DecodeString(j.Final)
+	if err != nil {
+		return fmt.Errorf("keys: final sk: %w", err)
+	}
+	beaconRaw, err := hex.DecodeString(j.Beacon)
+	if err != nil {
+		return fmt.Errorf("keys: beacon sk: %w", err)
+	}
+	beacon, err := ec.DecodeScalar(beaconRaw)
+	if err != nil {
+		return fmt.Errorf("keys: beacon sk: %w", err)
+	}
+	p.Index = types.PartyID(j.Index)
+	p.Auth = sig.PrivateKey(auth)
+	p.Notary = multisig.SecretKey{Index: j.Index, Key: sig.PrivateKey(notary)}
+	p.Final = multisig.SecretKey{Index: j.Index, Key: sig.PrivateKey(final)}
+	p.Beacon = thresig.SecretShare{Index: j.Index, Key: beacon}
+	return nil
+}

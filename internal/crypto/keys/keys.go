@@ -1,0 +1,86 @@
+// Package keys generates and serialises the key material of an ICC
+// cluster. Paper §3.1: "Each party will be initialized with some secret
+// keys, as well as with the public keys for itself and all other
+// parties... set up by a trusted party or a secure distributed key
+// generation protocol." This package is that trusted dealer.
+//
+// Per party the material comprises (paper §3.2):
+//   - an S_auth signing key (ordinary signatures, ed25519),
+//   - an S_notary key for the (t, n−t, n) notarization multi-signature,
+//   - an S_final key for the (t, n−t, n) finalization multi-signature,
+//   - an S_beacon share of the (t, t+1, n) unique threshold signature.
+package keys
+
+import (
+	"fmt"
+	"io"
+
+	"icc/internal/crypto/multisig"
+	"icc/internal/crypto/sig"
+	"icc/internal/crypto/thresig"
+	"icc/internal/types"
+)
+
+// Public is the key material every party is provisioned with.
+type Public struct {
+	N      int
+	T      int // tolerated faults, t < n/3
+	Auth   []sig.PublicKey
+	Notary *multisig.PublicInfo
+	Final  *multisig.PublicInfo
+	Beacon *thresig.PublicInfo
+	// GenesisSeed is the fixed initial beacon value R_0, known to all
+	// parties (paper §2.3).
+	GenesisSeed []byte
+}
+
+// Private is one party's secret key material.
+type Private struct {
+	Index  types.PartyID
+	Auth   sig.PrivateKey
+	Notary multisig.SecretKey
+	Final  multisig.SecretKey
+	Beacon thresig.SecretShare
+}
+
+// Deal generates the full key material for an n-party cluster.
+func Deal(rng io.Reader, n int) (*Public, []Private, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("keys: invalid party count %d", n)
+	}
+	t := types.MaxFaults(n)
+	pub := &Public{
+		N:           n,
+		T:           t,
+		Auth:        make([]sig.PublicKey, n),
+		Notary:      &multisig.PublicInfo{N: n, Threshold: types.NotaryQuorum(n), Keys: make([]sig.PublicKey, n)},
+		Final:       &multisig.PublicInfo{N: n, Threshold: types.NotaryQuorum(n), Keys: make([]sig.PublicKey, n)},
+		GenesisSeed: []byte("icc genesis beacon seed"),
+	}
+	privs := make([]Private, n)
+	for i := 0; i < n; i++ {
+		privs[i].Index = types.PartyID(i)
+		var err error
+		if pub.Auth[i], privs[i].Auth, err = sig.GenerateKey(rng); err != nil {
+			return nil, nil, fmt.Errorf("keys: auth key %d: %w", i, err)
+		}
+		var notarySk, finalSk sig.PrivateKey
+		if pub.Notary.Keys[i], notarySk, err = sig.GenerateKey(rng); err != nil {
+			return nil, nil, fmt.Errorf("keys: notary key %d: %w", i, err)
+		}
+		privs[i].Notary = multisig.SecretKey{Index: i, Key: notarySk}
+		if pub.Final.Keys[i], finalSk, err = sig.GenerateKey(rng); err != nil {
+			return nil, nil, fmt.Errorf("keys: final key %d: %w", i, err)
+		}
+		privs[i].Final = multisig.SecretKey{Index: i, Key: finalSk}
+	}
+	beaconPub, beaconShares, err := thresig.Deal(rng, types.BeaconQuorum(n), n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("keys: beacon scheme: %w", err)
+	}
+	pub.Beacon = beaconPub
+	for i := 0; i < n; i++ {
+		privs[i].Beacon = beaconShares[i]
+	}
+	return pub, privs, nil
+}

@@ -1,0 +1,175 @@
+package shamir
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"icc/internal/crypto/ec"
+)
+
+func mustSecret(t testing.TB) *ec.Scalar {
+	t.Helper()
+	s, err := ec.RandomScalar(cryptoRand{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// cryptoRand adapts crypto/rand for brevity in tests.
+type cryptoRand struct{}
+
+func (cryptoRand) Read(p []byte) (int, error) { return crand.Read(p) }
+
+func TestDealRecoverExactThreshold(t *testing.T) {
+	secret := mustSecret(t)
+	shares, err := Deal(cryptoRand{}, secret, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(3, shares[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(secret) {
+		t.Fatal("recovered secret mismatch with first 3 shares")
+	}
+}
+
+func TestRecoverAnySubset(t *testing.T) {
+	secret := mustSecret(t)
+	const n, th = 10, 4
+	shares, err := Deal(cryptoRand{}, secret, th, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 25; trial++ {
+		perm := rng.Perm(n)
+		subset := make([]Share, th)
+		for i := 0; i < th; i++ {
+			subset[i] = shares[perm[i]]
+		}
+		got, err := Recover(th, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(secret) {
+			t.Fatalf("trial %d: wrong secret from subset %v", trial, perm[:th])
+		}
+	}
+}
+
+func TestRecoverRejectsTooFew(t *testing.T) {
+	secret := mustSecret(t)
+	shares, _ := Deal(cryptoRand{}, secret, 3, 5)
+	if _, err := Recover(3, shares[:2]); err == nil {
+		t.Fatal("expected ErrNotEnoughShares")
+	}
+}
+
+func TestRecoverRejectsDuplicates(t *testing.T) {
+	secret := mustSecret(t)
+	shares, _ := Deal(cryptoRand{}, secret, 2, 5)
+	if _, err := Recover(2, []Share{shares[1], shares[1]}); err == nil {
+		t.Fatal("expected ErrDuplicateShare")
+	}
+}
+
+func TestDealValidatesThreshold(t *testing.T) {
+	secret := mustSecret(t)
+	if _, err := Deal(cryptoRand{}, secret, 0, 5); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := Deal(cryptoRand{}, secret, 6, 5); err == nil {
+		t.Fatal("threshold > n accepted")
+	}
+}
+
+func TestThresholdOneIsConstant(t *testing.T) {
+	secret := mustSecret(t)
+	shares, err := Deal(cryptoRand{}, secret, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shares {
+		if !s.Value.Equal(secret) {
+			t.Fatal("threshold-1 sharing should replicate the secret")
+		}
+	}
+}
+
+func TestRecoverPointMatchesScalarRecovery(t *testing.T) {
+	secret := mustSecret(t)
+	const n, th = 7, 3
+	shares, err := Deal(cryptoRand{}, secret, th, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ec.HashToPoint([]byte("message"))
+	ptShares := make([]PointShare, 0, th)
+	// Use a non-prefix subset to exercise arbitrary indices.
+	for _, i := range []int{6, 2, 4} {
+		ptShares = append(ptShares, PointShare{Index: i, Value: base.Mul(shares[i].Value)})
+	}
+	got, err := RecoverPoint(th, ptShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Mul(secret)
+	if !got.Equal(want) {
+		t.Fatal("exponent interpolation mismatch")
+	}
+}
+
+func TestPublicShares(t *testing.T) {
+	secret := mustSecret(t)
+	shares, _ := Deal(cryptoRand{}, secret, 2, 3)
+	pub := PublicShares(shares)
+	for i, p := range pub {
+		if !p.Equal(ec.BaseMul(shares[i].Value)) {
+			t.Fatalf("public share %d mismatch", i)
+		}
+	}
+}
+
+func TestQuickShareRecombine(t *testing.T) {
+	// Property: for random secrets and thresholds, recovery from any
+	// threshold-sized prefix of a random permutation returns the secret.
+	f := func(raw [32]byte, thRaw, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		th := int(thRaw)%n + 1
+		secret := ec.ScalarFromBytesWide(raw[:])
+		shares, err := Deal(cryptoRand{}, secret, th, n)
+		if err != nil {
+			return false
+		}
+		got, err := Recover(th, shares)
+		if err != nil {
+			return false
+		}
+		return got.Equal(secret)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecoverPoint(b *testing.B) {
+	secret, _ := ec.RandomScalar(cryptoRand{})
+	const n, th = 31, 11
+	shares, _ := Deal(cryptoRand{}, secret, th, n)
+	base := ec.HashToPoint([]byte("bench"))
+	ptShares := make([]PointShare, th)
+	for i := 0; i < th; i++ {
+		ptShares[i] = PointShare{Index: i, Value: base.Mul(shares[i].Value)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverPoint(th, ptShares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

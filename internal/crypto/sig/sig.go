@@ -1,0 +1,56 @@
+// Package sig wraps ed25519 as the ordinary digital signature scheme
+// S_auth used to authenticate block proposals (paper §2.2, §3.2). All
+// signatures are domain-separated so that a signature produced for one
+// artifact kind can never be replayed as another.
+package sig
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+
+	"icc/internal/crypto/hash"
+)
+
+// Sizes of the scheme's objects.
+const (
+	PublicKeyLen = ed25519.PublicKeySize
+	SignatureLen = ed25519.SignatureSize
+)
+
+// PublicKey is a verification key.
+type PublicKey []byte
+
+// PrivateKey is a signing key.
+type PrivateKey []byte
+
+// ErrInvalidSignature is returned when verification fails.
+var ErrInvalidSignature = errors.New("sig: invalid signature")
+
+// GenerateKey creates a fresh key pair.
+func GenerateKey(rng io.Reader) (PublicKey, PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sig: generating key: %w", err)
+	}
+	return PublicKey(pub), PrivateKey(priv), nil
+}
+
+// Sign signs the domain-tagged message.
+func Sign(priv PrivateKey, domain hash.Domain, msg []byte) []byte {
+	d := hash.Sum(domain, msg)
+	return ed25519.Sign(ed25519.PrivateKey(priv), d[:])
+}
+
+// Verify checks a signature produced by Sign under the same domain.
+func Verify(pub PublicKey, domain hash.Domain, msg, signature []byte) error {
+	if len(pub) != PublicKeyLen {
+		return fmt.Errorf("%w: bad public key length %d", ErrInvalidSignature, len(pub))
+	}
+	d := hash.Sum(domain, msg)
+	if !ed25519.Verify(ed25519.PublicKey(pub), d[:], signature) {
+		return ErrInvalidSignature
+	}
+	return nil
+}

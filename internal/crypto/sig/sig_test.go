@@ -1,0 +1,74 @@
+package sig
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"icc/internal/crypto/hash"
+)
+
+const domain = hash.Domain("test/sig")
+
+func TestSignVerify(t *testing.T) {
+	pub, priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("authenticate this block")
+	s := Sign(priv, domain, msg)
+	if len(s) != SignatureLen {
+		t.Fatalf("signature length %d", len(s))
+	}
+	if err := Verify(pub, domain, msg, s); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	pub, priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	s := Sign(priv, domain, msg)
+	if err := Verify(pub, domain, []byte("other"), s); err == nil {
+		t.Fatal("wrong message verified")
+	}
+	if err := Verify(pub, hash.Domain("test/other"), msg, s); err == nil {
+		t.Fatal("wrong domain verified")
+	}
+	bad := append([]byte(nil), s...)
+	bad[0] ^= 1
+	if err := Verify(pub, domain, msg, bad); err == nil {
+		t.Fatal("tampered signature verified")
+	}
+	otherPub, _, _ := GenerateKey(rand.Reader)
+	if err := Verify(otherPub, domain, msg, s); err == nil {
+		t.Fatal("wrong key verified")
+	}
+}
+
+func TestVerifyRejectsBadKeyLength(t *testing.T) {
+	if err := Verify(PublicKey{1, 2, 3}, domain, []byte("m"), make([]byte, SignatureLen)); err == nil {
+		t.Fatal("short public key accepted")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	_, priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("bench")
+	for i := 0; i < b.N; i++ {
+		Sign(priv, domain, msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	pub, priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("bench")
+	s := Sign(priv, domain, msg)
+	for i := 0; i < b.N; i++ {
+		if err := Verify(pub, domain, msg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package erasure implements systematic Reed–Solomon erasure codes over
+// GF(2^8), built from scratch: any k of the n coded shards reconstruct
+// the data. It is the coding substrate of ICC2's reliable-broadcast
+// subprotocol (paper §1: "a subprotocol based on erasure codes",
+// following the approach introduced by [11]).
+package erasure
+
+// GF(2^8) arithmetic with the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), precomputed exp/log tables.
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+// initTables fills the exp/log tables. Called from NewCode via
+// tablesOnce; kept out of package init per style guidance.
+func initTables() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 2 in GF(2^8)/0x11d
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= 0x1d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// mulRowInto computes dst = coeff * src (element-wise GF multiply),
+// XOR-accumulated into dst.
+func mulRowInto(dst, src []byte, coeff byte) {
+	if coeff == 0 {
+		return
+	}
+	if coeff == 1 {
+		for i, v := range src {
+			dst[i] ^= v
+		}
+		return
+	}
+	logC := int(gfLog[coeff])
+	for i, v := range src {
+		if v != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[v])]
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeReconstructAllShards(t *testing.T) {
+	c, err := NewCode(5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 13 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	m := make(map[int][]byte, len(shards))
+	for i, s := range shards {
+		m[i] = s
+	}
+	got, err := c.Reconstruct(m, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestReconstructFromAnyKSubset(t *testing.T) {
+	const k, n = 4, 10
+	c, err := NewCode(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1000)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(n)
+		m := make(map[int][]byte, k)
+		for _, i := range perm[:k] {
+			m[i] = shards[i]
+		}
+		got, err := c.Reconstruct(m, len(data))
+		if err != nil {
+			t.Fatalf("subset %v: %v", perm[:k], err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("subset %v: wrong data", perm[:k])
+		}
+	}
+}
+
+func TestReconstructParityOnly(t *testing.T) {
+	const k, n = 3, 9
+	c, _ := NewCode(k, n)
+	data := []byte("parity only reconstruction")
+	shards, _ := c.Encode(data)
+	m := map[int][]byte{6: shards[6], 7: shards[7], 8: shards[8]}
+	got, err := c.Reconstruct(m, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("parity-only reconstruction failed")
+	}
+}
+
+func TestReconstructFailsBelowK(t *testing.T) {
+	c, _ := NewCode(3, 6)
+	data := []byte("short")
+	shards, _ := c.Encode(data)
+	m := map[int][]byte{0: shards[0], 4: shards[4]}
+	if _, err := c.Reconstruct(m, len(data)); err == nil {
+		t.Fatal("reconstructed from k-1 shards")
+	}
+}
+
+func TestSystematic(t *testing.T) {
+	const k, n = 4, 8
+	c, _ := NewCode(k, n)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	shards, _ := c.Encode(data)
+	size := c.ShardSize(len(data))
+	for i := 0; i < k; i++ {
+		if !bytes.Equal(shards[i], data[i*size:(i+1)*size]) {
+			t.Fatalf("shard %d is not the raw data chunk (non-systematic)", i)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	c1, _ := NewCode(5, 13)
+	c2, _ := NewCode(5, 13)
+	data := []byte("determinism matters for merkle roots")
+	s1, _ := c1.Encode(data)
+	s2, _ := c2.Encode(data)
+	for i := range s1 {
+		if !bytes.Equal(s1[i], s2[i]) {
+			t.Fatalf("shard %d differs across identical codes", i)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	cases := []struct{ k, n int }{{0, 5}, {5, 4}, {3, 256}, {-1, 3}}
+	for _, c := range cases {
+		if _, err := NewCode(c.k, c.n); err == nil {
+			t.Errorf("NewCode(%d, %d) accepted", c.k, c.n)
+		}
+	}
+	if _, err := NewCode(1, 1); err != nil {
+		t.Errorf("NewCode(1,1) rejected: %v", err)
+	}
+	if _, err := NewCode(255, 255); err != nil {
+		t.Errorf("NewCode(255,255) rejected: %v", err)
+	}
+}
+
+func TestEmptyAndTinyPayloads(t *testing.T) {
+	c, _ := NewCode(4, 7)
+	for _, data := range [][]byte{nil, {}, {42}, []byte("ab")} {
+		shards, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[int][]byte{1: shards[1], 3: shards[3], 5: shards[5], 6: shards[6]}
+		got, err := c.Reconstruct(m, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) && len(data) > 0 {
+			t.Fatalf("payload %q: round-trip mismatch", data)
+		}
+	}
+}
+
+func TestShardSizeRejection(t *testing.T) {
+	c, _ := NewCode(2, 4)
+	data := []byte("0123456789")
+	shards, _ := c.Encode(data)
+	m := map[int][]byte{0: shards[0], 1: shards[1][:2]}
+	if _, err := c.Reconstruct(m, len(data)); err == nil {
+		t.Fatal("inconsistent shard size accepted")
+	}
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	tablesOnce.Do(initTables)
+	f := func(a, b, c byte) bool {
+		// distributivity: a*(b^c) == a*b ^ a*c
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			return false
+		}
+		// associativity and commutativity
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			return false
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		// inverses
+		if a != 0 && gfMul(a, gfInv(a)) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, kRaw, extraRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		n := k + int(extraRaw%20)
+		if n > 255 {
+			n = 255
+		}
+		c, err := NewCode(k, n)
+		if err != nil {
+			return false
+		}
+		shards, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Take the last k shards.
+		m := make(map[int][]byte, k)
+		for i := n - k; i < n; i++ {
+			m[i] = shards[i]
+		}
+		got, err := c.Reconstruct(m, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode1MB_13Shards(b *testing.B) {
+	c, _ := NewCode(5, 13)
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct1MB_13Shards(b *testing.B) {
+	c, _ := NewCode(5, 13)
+	data := make([]byte, 1<<20)
+	shards, _ := c.Encode(data)
+	m := map[int][]byte{8: shards[8], 9: shards[9], 10: shards[10], 11: shards[11], 12: shards[12]}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reconstruct(m, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

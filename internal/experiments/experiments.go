@@ -1,0 +1,84 @@
+// Package experiments reproduces the paper's evaluation: Table 1 (§5)
+// and the quantitative analytical claims of §1/§1.1, each as a
+// parameterised sweep over the simulation harness. The experiment index
+// lives in DESIGN.md §3; EXPERIMENTS.md records paper-vs-measured
+// values. Each experiment returns a Table that cmd/iccbench prints and
+// the root benchmark suite reports as custom metrics.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // experiment id, e.g. "E1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale shrinks experiment durations for quick runs: 1.0 is the full
+// configuration recorded in EXPERIMENTS.md, smaller values shorten
+// simulated windows and sweep points proportionally (min 1 round kept).
+type Scale float64
+
+// scaleInt applies the scale to a count with a floor of 1.
+func (s Scale) scaleInt(v int) int {
+	if s <= 0 || s >= 1 {
+		return v
+	}
+	out := int(float64(v) * float64(s))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment functions run at a small Scale here: the tests verify
+// that every experiment produces well-formed output and that the
+// headline shapes hold; the full-scale numbers live in EXPERIMENTS.md.
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parseDur(t *testing.T, s string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return d
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.String()
+	for _, want := range []string{"EX", "demo", "a", "bb", "1", "2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	if Scale(0.1).scaleInt(100) != 10 {
+		t.Fatal("scale 0.1 of 100")
+	}
+	if Scale(0.001).scaleInt(100) != 1 {
+		t.Fatal("floor of 1")
+	}
+	if Scale(1).scaleInt(100) != 100 || Scale(0).scaleInt(100) != 100 {
+		t.Fatal("identity cases")
+	}
+}
+
+func TestLatencyThroughputShape(t *testing.T) {
+	tab := LatencyThroughput(0.15)
+	if len(tab.Rows) != 15 { // 5 deltas × 3 variants
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		delta := parseDur(t, row[0])
+		roundX := parseFloat(t, row[3])
+		latencyX := parseFloat(t, row[5])
+		variant := row[1]
+		switch variant {
+		case "ICC0":
+			if roundX < 1.5 || roundX > 3 {
+				t.Errorf("δ=%v ICC0 round time ×%.1fδ, want ≈2", delta, roundX)
+			}
+			if latencyX < 2 || latencyX > 4.5 {
+				t.Errorf("δ=%v ICC0 latency ×%.1fδ, want ≈3", delta, latencyX)
+			}
+		case "ICC2":
+			if roundX < 2.3 || roundX > 4.5 {
+				t.Errorf("δ=%v ICC2 round time ×%.1fδ, want ≈3", delta, roundX)
+			}
+			if latencyX < 3 || latencyX > 6 {
+				t.Errorf("δ=%v ICC2 latency ×%.1fδ, want ≈4", delta, latencyX)
+			}
+		}
+	}
+}
+
+func TestMessageComplexityShape(t *testing.T) {
+	tab := MessageComplexity(0.1)
+	// msgs/n² must stay bounded as n grows (O(n²) signature).
+	var ratios []float64
+	for _, row := range tab.Rows {
+		ratios = append(ratios, parseFloat(t, row[2]))
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > ratios[0]*3 {
+			t.Fatalf("msgs/n² grows: %v", ratios)
+		}
+	}
+}
+
+func TestRoundComplexityShape(t *testing.T) {
+	tab := RoundComplexity(0.05)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no gap rows")
+	}
+	// Gap 0 (immediate finalization) must dominate.
+	if tab.Rows[0][0] != "0" {
+		t.Fatalf("first gap is %s, want 0", tab.Rows[0][0])
+	}
+	frac := parseFloat(t, tab.Rows[0][2])
+	if frac < 0.5 {
+		t.Fatalf("gap-0 fraction %.2f, expected majority", frac)
+	}
+}
+
+func TestRobustnessShape(t *testing.T) {
+	tab := Robustness(0.1)
+	if len(tab.Rows) < 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Throughput decreases with corruption but never reaches zero.
+	base := parseFloat(t, tab.Rows[0][2])
+	last := parseFloat(t, tab.Rows[len(tab.Rows)-1][2])
+	if last <= 0 {
+		t.Fatal("throughput hit zero under corruption — not robust")
+	}
+	if last > base {
+		t.Fatal("corruption increased throughput?")
+	}
+}
+
+func TestResponsivenessShape(t *testing.T) {
+	tab := Responsiveness(0.2)
+	// ICC round time must stay flat as Δbnd grows; Tendermint must grow.
+	first := parseDur(t, tab.Rows[0][1])
+	last := parseDur(t, tab.Rows[len(tab.Rows)-1][1])
+	if last > 3*first {
+		t.Fatalf("ICC round time grew with Δbnd: %v -> %v", first, last)
+	}
+	tmFirst := parseDur(t, tab.Rows[0][2])
+	tmLast := parseDur(t, tab.Rows[len(tab.Rows)-1][2])
+	if tmLast < 3*tmFirst {
+		t.Fatalf("Tendermint round time did not grow with Δbnd: %v -> %v", tmFirst, tmLast)
+	}
+}
+
+func TestDisseminationShape(t *testing.T) {
+	tab := Dissemination(0.25)
+	// At the largest size, ICC0's max-party egress per S must exceed
+	// ICC2's by a factor ≈ n/(n/(n−2t)) — i.e. the leader bottleneck.
+	var icc0Max, icc2Max, icc2Mean float64
+	for _, row := range tab.Rows {
+		if row[0] != "1MiB" {
+			continue
+		}
+		switch row[1] {
+		case "ICC0":
+			icc0Max = parseFloat(t, row[4])
+		case "ICC2":
+			icc2Max = parseFloat(t, row[4])
+			icc2Mean = parseFloat(t, row[5])
+		}
+	}
+	if icc0Max == 0 || icc2Max == 0 {
+		t.Fatal("missing rows")
+	}
+	if icc0Max < 2*icc2Max {
+		t.Fatalf("ICC2 did not relieve the leader bottleneck: ICC0 max %.1f·S vs ICC2 max %.1f·S", icc0Max, icc2Max)
+	}
+	// ICC2 per-party ≈ n/(n−2t) = 13/5 = 2.6 × S.
+	if icc2Mean < 1.5 || icc2Mean > 5 {
+		t.Fatalf("ICC2 mean per-party %.1f·S, want ≈2.6·S", icc2Mean)
+	}
+}
+
+func TestBaselinesShape(t *testing.T) {
+	tab := Baselines(0.15)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	icc0Lat := parseDur(t, tab.Rows[0][2])
+	hsLat := parseDur(t, tab.Rows[3][2])
+	if hsLat < icc0Lat*3/2 {
+		t.Fatalf("HotStuff latency %v not ≈2x ICC0's %v", hsLat, icc0Lat)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	tab := AblationDelays(0.25)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// ε=0 produces more blocks than ε=500ms.
+	b0 := parseFloat(t, tab.Rows[0][1])
+	b500 := parseFloat(t, tab.Rows[2][1])
+	if b0 <= b500 {
+		t.Fatalf("ε governor did not slow the protocol: %.1f vs %.1f blocks/s", b0, b500)
+	}
+	// Adaptive beats static on tail latency under mis-configured Δbnd.
+	static := parseDur(t, tab.Rows[3][4])
+	adaptive := parseDur(t, tab.Rows[4][4])
+	if adaptive >= static {
+		t.Fatalf("adaptive Δbnd p99 latency %v did not beat static %v", adaptive, static)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 is slow; run without -short")
+	}
+	tab := Table1(0.05) // 15-second windows
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Within each subnet: load adds traffic; failures cut the block rate.
+	for base := 0; base < 6; base += 3 {
+		noLoad := parseFloat(t, tab.Rows[base][4])
+		withLoad := parseFloat(t, tab.Rows[base+1][4])
+		if withLoad <= noLoad {
+			t.Errorf("rows %d: load did not add traffic (%.2f vs %.2f Mb/s)", base, withLoad, noLoad)
+		}
+		healthyRate := parseFloat(t, tab.Rows[base+1][2])
+		failRate := parseFloat(t, tab.Rows[base+2][2])
+		if failRate >= healthyRate {
+			t.Errorf("rows %d: failures did not slow block rate (%.2f vs %.2f)", base, failRate, healthyRate)
+		}
+	}
+}
+
+func TestWeakAdaptiveAdversaryShape(t *testing.T) {
+	tab := WeakAdaptiveAdversary(0.25)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	iccBase := parseFloat(t, tab.Rows[0][2])
+	iccK1 := parseFloat(t, tab.Rows[2][2])
+	iccK2 := parseFloat(t, tab.Rows[3][2])
+	hsMuted := parseFloat(t, tab.Rows[5][2])
+	// κ=1 hurts ICC but keeps it live.
+	if iccK1 <= 0 {
+		t.Fatal("ICC stalled under κ=1 — robustness lost")
+	}
+	if iccK1 >= iccBase {
+		t.Fatal("κ=1 adversary had no effect on ICC")
+	}
+	// κ=2 ("weak adaptive") leaves ICC at (near) full speed.
+	if iccK2 < iccBase*0.8 {
+		t.Fatalf("κ=2 should not hurt ICC: %.1f vs base %.1f", iccK2, iccBase)
+	}
+	// HotStuff with a public schedule collapses.
+	if hsMuted > 0.2*parseFloat(t, tab.Rows[1][2]) {
+		t.Fatalf("muted HotStuff still committing: %.1f", hsMuted)
+	}
+}
+
+func TestPBFTFragilityShape(t *testing.T) {
+	tab := PBFTFragility(0.25)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	iccSlow := parseFloat(t, tab.Rows[2][3])
+	pbftSlow := parseFloat(t, tab.Rows[5][3])
+	// ICC with one slow party keeps most throughput (expected for n=7:
+	// 6/7 rounds at 2δ, 1/7 at 2Δbnd+2δ ⇒ ≈58%); PBFT collapses.
+	if iccSlow < 50 {
+		t.Fatalf("ICC slow-leader throughput only %.0f%%", iccSlow)
+	}
+	if pbftSlow > 40 {
+		t.Fatalf("PBFT slow-leader attack ineffective: %.0f%%", pbftSlow)
+	}
+	if iccSlow < 2*pbftSlow {
+		t.Fatalf("robustness gap too small: ICC %.0f%% vs PBFT %.0f%%", iccSlow, pbftSlow)
+	}
+}

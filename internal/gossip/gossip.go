@@ -1,0 +1,295 @@
+// Package gossip implements the peer-to-peer gossip sub-layer that
+// Protocol ICC1 is designed to integrate with (paper §1, [17]). Each
+// party talks only to a bounded set of neighbours; artifacts spread by
+// flooding with deduplication, and large artifacts (blocks) use a lazy
+// advert → request → deliver pull so that the proposer's egress is
+// bounded by its fanout rather than by n — the leader-bottleneck relief
+// the paper attributes to the gossip layer.
+//
+// The wrapper turns an ICC engine's logical broadcasts into gossip
+// traffic and reassembles incoming gossip into ordinary message
+// deliveries for the engine, so the consensus logic is unchanged
+// (the paper: "the logic of the protocol can be easily understood
+// independent of this sub-layer").
+package gossip
+
+import (
+	"math/rand"
+	"time"
+
+	"icc/internal/engine"
+	"icc/internal/types"
+)
+
+// Config tunes one party's gossip wrapper.
+type Config struct {
+	Self types.PartyID
+	N    int
+	// Fanout bounds the neighbourhood size. The topology is a ring plus
+	// seeded random chords, so the honest overlay stays connected.
+	Fanout int
+	// Seed makes the topology deterministic across parties.
+	Seed int64
+	// EagerThreshold is the encoded-size boundary between eager push
+	// (small artifacts: shares, notarizations) and lazy advert/pull
+	// (blocks). Default 1024 bytes.
+	EagerThreshold int
+	// MaxStore caps the artifact store (FIFO eviction). Default 65536.
+	MaxStore int
+}
+
+// Engine is the gossip wrapper.
+type Engine struct {
+	cfg   Config
+	inner engine.Engine
+	peers []types.PartyID
+
+	seen  map[types.Ref]struct{}
+	store map[types.Ref]types.Message
+	order []types.Ref // FIFO for eviction
+	// requested tracks which peers we already asked for a pending ref,
+	// so a corrupt non-answering peer cannot stall us: every further
+	// advertiser gets asked too.
+	requested map[types.Ref]map[types.PartyID]struct{}
+
+	out []engine.Output
+}
+
+// Wrap builds the ICC1 dissemination wrapper around an engine.
+func Wrap(cfg Config, inner engine.Engine) *Engine {
+	if cfg.EagerThreshold == 0 {
+		cfg.EagerThreshold = 1024
+	}
+	if cfg.MaxStore == 0 {
+		cfg.MaxStore = 65536
+	}
+	if cfg.Fanout < 2 {
+		cfg.Fanout = 2
+	}
+	if cfg.Fanout > cfg.N-1 {
+		cfg.Fanout = cfg.N - 1
+	}
+	return &Engine{
+		cfg:       cfg,
+		inner:     inner,
+		peers:     Topology(cfg.N, cfg.Fanout, cfg.Seed)[cfg.Self],
+		seen:      make(map[types.Ref]struct{}),
+		store:     make(map[types.Ref]types.Message),
+		requested: make(map[types.Ref]map[types.PartyID]struct{}),
+	}
+}
+
+// Topology builds the deterministic overlay: every party's neighbour
+// list in a ring-plus-random-chords graph. Symmetric: j ∈ peers(i) iff
+// i ∈ peers(j).
+func Topology(n, fanout int, seed int64) [][]types.PartyID {
+	adj := make([]map[types.PartyID]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[types.PartyID]struct{})
+	}
+	link := func(a, b int) {
+		if a == b {
+			return
+		}
+		adj[a][types.PartyID(b)] = struct{}{}
+		adj[b][types.PartyID(a)] = struct{}{}
+	}
+	// Ring for guaranteed connectivity.
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+	}
+	// Random chords until everyone reaches the fanout (or the graph is
+	// complete).
+	rng := rand.New(rand.NewSource(seed ^ 0x6f55a9))
+	for i := 0; i < n; i++ {
+		guard := 0
+		for len(adj[i]) < fanout && guard < 10*n {
+			link(i, rng.Intn(n))
+			guard++
+		}
+	}
+	out := make([][]types.PartyID, n)
+	for i := range adj {
+		peers := make([]types.PartyID, 0, len(adj[i]))
+		for p := 0; p < n; p++ {
+			if _, ok := adj[i][types.PartyID(p)]; ok {
+				peers = append(peers, types.PartyID(p))
+			}
+		}
+		out[i] = peers
+	}
+	return out
+}
+
+// Peers returns this party's neighbour list.
+func (g *Engine) Peers() []types.PartyID { return g.peers }
+
+// ID implements engine.Engine.
+func (g *Engine) ID() types.PartyID { return g.inner.ID() }
+
+// CurrentRound implements engine.Engine.
+func (g *Engine) CurrentRound() types.Round { return g.inner.CurrentRound() }
+
+// NextWake implements engine.Engine.
+func (g *Engine) NextWake(now time.Duration) (time.Duration, bool) { return g.inner.NextWake(now) }
+
+// Init implements engine.Engine.
+func (g *Engine) Init(now time.Duration) []engine.Output {
+	g.disseminate(g.inner.Init(now), -1)
+	return g.drain()
+}
+
+// Tick implements engine.Engine.
+func (g *Engine) Tick(now time.Duration) []engine.Output {
+	g.disseminate(g.inner.Tick(now), -1)
+	return g.drain()
+}
+
+// HandleMessage implements engine.Engine: gossip control traffic is
+// consumed here; artifacts are deduplicated, delivered to the inner
+// engine, and relayed onward.
+func (g *Engine) HandleMessage(from types.PartyID, m types.Message, now time.Duration) []engine.Output {
+	switch v := m.(type) {
+	case *types.Advert:
+		g.handleAdvert(from, v)
+	case *types.Request:
+		g.handleRequest(from, v)
+	default:
+		g.handleArtifact(from, m, now)
+	}
+	return g.drain()
+}
+
+func (g *Engine) drain() []engine.Output {
+	out := g.out
+	g.out = nil
+	return out
+}
+
+func (g *Engine) send(to types.PartyID, m types.Message) {
+	g.out = append(g.out, engine.Unicast(to, m))
+}
+
+// disseminate converts the inner engine's outputs into gossip traffic.
+// skip is a peer to exclude (the artifact's source), or -1.
+func (g *Engine) disseminate(outs []engine.Output, skip types.PartyID) {
+	for _, o := range outs {
+		if !o.Broadcast {
+			// Unicasts (from Byzantine wrappers) pass through unchanged.
+			g.out = append(g.out, o)
+			continue
+		}
+		// Bundles are split so each artifact gossips under its own ref
+		// (a bundle's block should go lazy while its signatures go
+		// eager).
+		if b, ok := o.Msg.(*types.Bundle); ok {
+			for _, sub := range b.Messages {
+				g.gossipArtifact(sub, skip)
+			}
+			continue
+		}
+		g.gossipArtifact(o.Msg, skip)
+	}
+}
+
+// gossipArtifact spreads one artifact we now hold.
+func (g *Engine) gossipArtifact(m types.Message, skip types.PartyID) {
+	ref := types.RefOf(m)
+	if _, dup := g.seen[ref]; dup {
+		return
+	}
+	g.seen[ref] = struct{}{}
+	g.put(ref, m)
+	size := len(types.Marshal(m))
+	if size <= g.cfg.EagerThreshold {
+		for _, p := range g.peers {
+			if p != skip {
+				g.send(p, m)
+			}
+		}
+		return
+	}
+	adv := &types.Advert{Refs: []types.Ref{ref}}
+	for _, p := range g.peers {
+		if p != skip {
+			g.send(p, adv)
+		}
+	}
+}
+
+// put stores an artifact for serving, with FIFO eviction.
+func (g *Engine) put(ref types.Ref, m types.Message) {
+	if _, ok := g.store[ref]; ok {
+		return
+	}
+	g.store[ref] = m
+	g.order = append(g.order, ref)
+	for len(g.order) > g.cfg.MaxStore {
+		old := g.order[0]
+		g.order = g.order[1:]
+		delete(g.store, old)
+	}
+}
+
+func (g *Engine) handleAdvert(from types.PartyID, adv *types.Advert) {
+	var want []types.Ref
+	for _, ref := range adv.Refs {
+		if _, have := g.store[ref]; have {
+			continue
+		}
+		asked := g.requested[ref]
+		if asked == nil {
+			asked = make(map[types.PartyID]struct{})
+			g.requested[ref] = asked
+		}
+		if _, dup := asked[from]; dup {
+			continue
+		}
+		asked[from] = struct{}{}
+		want = append(want, ref)
+	}
+	if len(want) > 0 {
+		g.send(from, &types.Request{Refs: want})
+	}
+}
+
+func (g *Engine) handleRequest(from types.PartyID, req *types.Request) {
+	for _, ref := range req.Refs {
+		if m, ok := g.store[ref]; ok {
+			g.send(from, m)
+		}
+	}
+}
+
+// handleArtifact processes a received artifact: dedup, deliver to the
+// inner engine, relay to peers.
+func (g *Engine) handleArtifact(from types.PartyID, m types.Message, now time.Duration) {
+	ref := types.RefOf(m)
+	if _, dup := g.seen[ref]; dup {
+		return
+	}
+	g.seen[ref] = struct{}{}
+	g.put(ref, m)
+	delete(g.requested, ref)
+	// Relay onward before delivering (delivery may produce more output).
+	size := len(types.Marshal(m))
+	if size <= g.cfg.EagerThreshold {
+		for _, p := range g.peers {
+			if p != from {
+				g.send(p, m)
+			}
+		}
+	} else {
+		adv := &types.Advert{Refs: []types.Ref{ref}}
+		for _, p := range g.peers {
+			if p != from {
+				g.send(p, adv)
+			}
+		}
+	}
+	// The inner engine's reactions are new artifacts of our own: gossip
+	// them to all peers (including the artifact's source).
+	g.disseminate(g.inner.HandleMessage(from, m, now), -1)
+}
+
+var _ engine.Engine = (*Engine)(nil)

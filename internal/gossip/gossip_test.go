@@ -1,0 +1,253 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"icc/internal/engine"
+	"icc/internal/types"
+)
+
+// sink is a minimal inner engine that records what it receives and can
+// emit a prepared broadcast on Init.
+type sink struct {
+	id       types.PartyID
+	initOut  []engine.Output
+	received []types.Message
+}
+
+func (s *sink) ID() types.PartyID                  { return s.id }
+func (s *sink) Init(time.Duration) []engine.Output { return s.initOut }
+func (s *sink) HandleMessage(_ types.PartyID, m types.Message, _ time.Duration) []engine.Output {
+	s.received = append(s.received, m)
+	return nil
+}
+func (s *sink) Tick(time.Duration) []engine.Output           { return nil }
+func (s *sink) NextWake(time.Duration) (time.Duration, bool) { return 0, false }
+func (s *sink) CurrentRound() types.Round                    { return 1 }
+
+func TestTopologyConnectedAndSymmetric(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 13, 40} {
+		adj := Topology(n, 6, 42)
+		if len(adj) != n {
+			t.Fatalf("n=%d: %d adjacency rows", n, len(adj))
+		}
+		// Symmetry.
+		has := func(a, b int) bool {
+			for _, p := range adj[a] {
+				if int(p) == b {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for _, p := range adj[i] {
+				if !has(int(p), i) {
+					t.Fatalf("n=%d: edge %d->%d not symmetric", n, i, p)
+				}
+				if int(p) == i {
+					t.Fatalf("n=%d: self-loop at %d", n, i)
+				}
+			}
+		}
+		// Connectivity via BFS.
+		seen := make([]bool, n)
+		queue := []int{0}
+		seen[0] = true
+		count := 1
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, p := range adj[cur] {
+				if !seen[p] {
+					seen[p] = true
+					count++
+					queue = append(queue, int(p))
+				}
+			}
+		}
+		if count != n {
+			t.Fatalf("n=%d: topology disconnected (%d of %d reachable)", n, count, n)
+		}
+	}
+}
+
+func TestTopologyDeterministic(t *testing.T) {
+	a := Topology(13, 6, 7)
+	b := Topology(13, 6, 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("topology not deterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("topology not deterministic")
+			}
+		}
+	}
+}
+
+func smallMsg() types.Message {
+	return &types.BeaconShare{Round: 1, Signer: 2, Share: []byte{1, 2, 3}}
+}
+
+func bigMsg() types.Message {
+	return &types.BlockMsg{Block: &types.Block{Round: 1, Proposer: 0, Payload: make([]byte, 4096)}}
+}
+
+func TestSmallArtifactsEagerPush(t *testing.T) {
+	inner := &sink{id: 0}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	outs := g.HandleMessage(g.Peers()[0], smallMsg(), 0)
+	// Delivered to inner once.
+	if len(inner.received) != 1 {
+		t.Fatalf("inner received %d messages", len(inner.received))
+	}
+	// Relayed to every peer except the source, as the full message.
+	relays := 0
+	for _, o := range outs {
+		if o.Broadcast {
+			t.Fatal("gossip must unicast")
+		}
+		if o.To == g.Peers()[0] {
+			t.Fatal("relayed back to source")
+		}
+		if _, ok := o.Msg.(*types.BeaconShare); ok {
+			relays++
+		}
+	}
+	if relays != len(g.Peers())-1 {
+		t.Fatalf("%d relays, want %d", relays, len(g.Peers())-1)
+	}
+	// Duplicate delivery: dropped entirely.
+	outs = g.HandleMessage(g.Peers()[1], smallMsg(), 0)
+	if len(outs) != 0 || len(inner.received) != 1 {
+		t.Fatal("duplicate artifact not suppressed")
+	}
+}
+
+func TestLargeArtifactsAdvertised(t *testing.T) {
+	inner := &sink{id: 0}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	outs := g.HandleMessage(g.Peers()[0], bigMsg(), 0)
+	if len(inner.received) != 1 {
+		t.Fatalf("inner received %d", len(inner.received))
+	}
+	adverts := 0
+	for _, o := range outs {
+		if _, ok := o.Msg.(*types.Advert); ok {
+			adverts++
+		}
+		if _, ok := o.Msg.(*types.BlockMsg); ok {
+			t.Fatal("large artifact eagerly relayed")
+		}
+	}
+	if adverts != len(g.Peers())-1 {
+		t.Fatalf("%d adverts, want %d", adverts, len(g.Peers())-1)
+	}
+}
+
+func TestAdvertRequestServe(t *testing.T) {
+	inner := &sink{id: 0}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	big := bigMsg()
+	g.HandleMessage(g.Peers()[0], big, 0) // now stored
+
+	ref := types.RefOf(big)
+	// A peer requests it.
+	outs := g.HandleMessage(g.Peers()[1], &types.Request{Refs: []types.Ref{ref}}, 0)
+	if len(outs) != 1 || outs[0].To != g.Peers()[1] {
+		t.Fatalf("request not served: %v", outs)
+	}
+	if types.RefOf(outs[0].Msg) != ref {
+		t.Fatal("served wrong artifact")
+	}
+	// Requesting something we lack yields nothing.
+	missing := types.Ref{Kind: types.KindBlock, ID: [32]byte{9}}
+	if outs := g.HandleMessage(g.Peers()[1], &types.Request{Refs: []types.Ref{missing}}, 0); len(outs) != 0 {
+		t.Fatal("served a missing artifact")
+	}
+}
+
+func TestAdvertTriggersRequestOncePerPeer(t *testing.T) {
+	inner := &sink{id: 0}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	ref := types.RefOf(bigMsg())
+	adv := &types.Advert{Refs: []types.Ref{ref}}
+	outs := g.HandleMessage(g.Peers()[0], adv, 0)
+	if len(outs) != 1 {
+		t.Fatalf("first advert: %d outputs, want 1 request", len(outs))
+	}
+	if _, ok := outs[0].Msg.(*types.Request); !ok {
+		t.Fatal("expected a request")
+	}
+	// Same advert from same peer: no duplicate request.
+	if outs := g.HandleMessage(g.Peers()[0], adv, 0); len(outs) != 0 {
+		t.Fatal("duplicate request to same peer")
+	}
+	// Same advert from another peer: request again (robustness against
+	// a non-answering first advertiser).
+	if outs := g.HandleMessage(g.Peers()[1], adv, 0); len(outs) != 1 {
+		t.Fatal("no request to second advertiser")
+	}
+	// Once the artifact arrives, further adverts are ignored.
+	g.HandleMessage(g.Peers()[2], bigMsg(), 0)
+	if outs := g.HandleMessage(g.Peers()[3], adv, 0); len(outs) != 0 {
+		t.Fatal("requested an artifact we already hold")
+	}
+}
+
+func TestInnerBroadcastsSplitAndGossiped(t *testing.T) {
+	big := bigMsg()
+	small := smallMsg()
+	inner := &sink{id: 0, initOut: []engine.Output{
+		engine.Broadcast(&types.Bundle{Messages: []types.Message{big, small}}),
+	}}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	outs := g.Init(0)
+	var adverts, pushes int
+	for _, o := range outs {
+		switch o.Msg.(type) {
+		case *types.Advert:
+			adverts++
+		case *types.BeaconShare:
+			pushes++
+		}
+	}
+	if adverts != len(g.Peers()) {
+		t.Fatalf("%d adverts for the block, want %d", adverts, len(g.Peers()))
+	}
+	if pushes != len(g.Peers()) {
+		t.Fatalf("%d eager pushes for the share, want %d", pushes, len(g.Peers()))
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	inner := &sink{id: 0}
+	g := Wrap(Config{Self: 0, N: 4, Fanout: 2, Seed: 1, MaxStore: 4}, inner)
+	var refs []types.Ref
+	for i := 0; i < 8; i++ {
+		m := &types.BeaconShare{Round: types.Round(i + 1), Signer: 1, Share: []byte{byte(i)}}
+		refs = append(refs, types.RefOf(m))
+		g.HandleMessage(g.Peers()[0], m, 0)
+	}
+	// The oldest artifacts must be gone; the newest present.
+	if outs := g.HandleMessage(g.Peers()[1], &types.Request{Refs: refs[:1]}, 0); len(outs) != 0 {
+		t.Fatal("evicted artifact still served")
+	}
+	if outs := g.HandleMessage(g.Peers()[1], &types.Request{Refs: refs[7:]}, 0); len(outs) != 1 {
+		t.Fatal("recent artifact not served")
+	}
+}
+
+func TestUnicastPassThrough(t *testing.T) {
+	inner := &sink{id: 0, initOut: []engine.Output{
+		engine.Unicast(3, smallMsg()),
+	}}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	outs := g.Init(0)
+	if len(outs) != 1 || outs[0].To != 3 || outs[0].Broadcast {
+		t.Fatalf("unicast not passed through: %v", outs)
+	}
+}

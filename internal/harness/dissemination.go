@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"icc/internal/engine"
+	"icc/internal/gossip"
+	"icc/internal/rbc"
+	"icc/internal/types"
+)
+
+// wrapDissemination applies the mode's dissemination wrapper: the
+// identity for ICC0, the gossip sub-layer for ICC1, and the
+// erasure-coded reliable broadcast for ICC2.
+func (c *Cluster) wrapDissemination(pid types.PartyID, inner engine.Engine) engine.Engine {
+	switch c.Opts.Mode {
+	case ICC1:
+		fanout := c.Opts.GossipFanout
+		if fanout <= 0 {
+			fanout = defaultFanout(c.Opts.N)
+		}
+		return gossip.Wrap(gossip.Config{
+			Self:   pid,
+			N:      c.Opts.N,
+			Fanout: fanout,
+			Seed:   c.Opts.Seed,
+		}, inner)
+	case ICC2:
+		return rbc.Wrap(rbc.Config{
+			Self: pid,
+			N:    c.Opts.N,
+		}, inner)
+	default:
+		return inner
+	}
+}
+
+// defaultFanout chooses a gossip fanout that keeps the overlay connected
+// with overwhelming probability: ≈ 2·log2(n) + 2, clamped to n−1.
+func defaultFanout(n int) int {
+	f := 2
+	for v := n; v > 1; v >>= 1 {
+		f += 2
+	}
+	if f > n-1 {
+		f = n - 1
+	}
+	return f
+}

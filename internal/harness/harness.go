@@ -1,0 +1,282 @@
+// Package harness assembles simulated ICC clusters — key material,
+// engines (honest or Byzantine), dissemination mode, delay model,
+// metrics — and provides the invariant checks every experiment and
+// integration test relies on. It is the shared chassis of the benchmark
+// suite (DESIGN.md §3) and of cmd/iccsim.
+package harness
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"icc/internal/adversary"
+	"icc/internal/beacon"
+	"icc/internal/core"
+	"icc/internal/crypto/keys"
+	"icc/internal/engine"
+	"icc/internal/metrics"
+	"icc/internal/pool"
+	"icc/internal/simnet"
+	"icc/internal/types"
+)
+
+// Behavior selects how a party acts.
+type Behavior int
+
+// Supported behaviours.
+const (
+	Honest       Behavior = iota + 1
+	Crash                 // silent from birth
+	SilentLeader          // honest except never proposes
+	LazyVoter             // honest except never contributes shares
+	Equivocator           // proposes conflicting blocks to different halves
+)
+
+// Mode selects the dissemination variant.
+type Mode int
+
+// Protocol variants (paper §1).
+const (
+	ICC0 Mode = iota // direct broadcast of blocks
+	ICC1             // gossip sub-layer dissemination
+	ICC2             // erasure-coded reliable broadcast dissemination
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ICC0:
+		return "ICC0"
+	case ICC1:
+		return "ICC1"
+	case ICC2:
+		return "ICC2"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a cluster.
+type Options struct {
+	N          int
+	Seed       int64
+	Delay      simnet.DelayModel
+	DeltaBound time.Duration
+	Epsilon    time.Duration
+
+	// SimBeacon swaps the threshold-cryptography beacon for the fast
+	// hash-chain simulation (same message pattern; see beacon.Simulated).
+	SimBeacon bool
+	// SkipAggVerify admits quorum aggregates without signature checks
+	// (large honest-only sweeps).
+	SkipAggVerify bool
+
+	Payload    core.PayloadSource
+	MaxPayload int
+
+	// Behaviors assigns non-honest roles; unlisted parties are honest.
+	Behaviors map[types.PartyID]Behavior
+
+	Mode Mode
+	// GossipFanout bounds each party's gossip neighbourhood (ICC1).
+	GossipFanout int
+
+	Adaptive   bool
+	PruneDepth types.Round
+
+	// WrapEngine, if set, is applied to each party's outermost engine —
+	// an escape hatch for custom experiment instrumentation.
+	WrapEngine func(p types.PartyID, e engine.Engine) engine.Engine
+}
+
+// Cluster is a ready-to-run simulated deployment.
+type Cluster struct {
+	Opts    Options
+	Pub     *keys.Public
+	Privs   []keys.Private
+	Net     *simnet.Network
+	Rec     *metrics.Recorder
+	Engines []*core.Engine // inner ICC engines, indexed by party
+
+	mu          sync.Mutex
+	committed   [][]*types.Block
+	committedAt [][]time.Duration
+}
+
+// New builds a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.N < 1 {
+		return nil, fmt.Errorf("harness: invalid cluster size %d", opts.N)
+	}
+	if opts.Delay == nil {
+		opts.Delay = simnet.Fixed{D: 10 * time.Millisecond}
+	}
+	if opts.DeltaBound == 0 {
+		opts.DeltaBound = 100 * time.Millisecond
+	}
+	pub, privs, err := keys.Deal(rand.Reader, opts.N)
+	if err != nil {
+		return nil, fmt.Errorf("harness: dealing keys: %w", err)
+	}
+	c := &Cluster{
+		Opts:        opts,
+		Pub:         pub,
+		Privs:       privs,
+		Rec:         metrics.NewRecorder(opts.N),
+		committed:   make([][]*types.Block, opts.N),
+		committedAt: make([][]time.Duration, opts.N),
+	}
+	c.Net = simnet.New(simnet.Options{Seed: opts.Seed, Delay: opts.Delay, Recorder: c.Rec})
+
+	for i := 0; i < opts.N; i++ {
+		pid := types.PartyID(i)
+		behavior := Honest
+		if b, ok := opts.Behaviors[pid]; ok {
+			behavior = b
+		}
+		if behavior == Crash {
+			c.Engines = append(c.Engines, nil)
+			c.Net.AddNode(adversary.NewSilent(pid), false)
+			continue
+		}
+		inner := core.NewEngine(c.engineConfig(pid))
+		c.Engines = append(c.Engines, inner)
+		var eng engine.Engine = inner
+		switch behavior {
+		case SilentLeader:
+			eng = adversary.NewSilentLeader(inner)
+		case LazyVoter:
+			eng = adversary.NewLazyVoter(inner)
+		case Equivocator:
+			eng = adversary.NewEquivocator(inner, opts.N, privs[i].Auth)
+		}
+		eng = c.wrapDissemination(pid, eng)
+		if opts.WrapEngine != nil {
+			eng = opts.WrapEngine(pid, eng)
+		}
+		c.Net.AddNode(eng, behavior == Honest)
+	}
+	return c, nil
+}
+
+// engineConfig builds one party's core config with metric hooks wired.
+func (c *Cluster) engineConfig(pid types.PartyID) core.Config {
+	cfg := core.Config{
+		Self:       pid,
+		Keys:       c.Pub,
+		Priv:       c.Privs[pid],
+		DeltaBound: c.Opts.DeltaBound,
+		Epsilon:    c.Opts.Epsilon,
+		Payload:    c.Opts.Payload,
+		MaxPayload: c.Opts.MaxPayload,
+		Adaptive:   c.Opts.Adaptive,
+		PruneDepth: c.Opts.PruneDepth,
+		Pool:       pool.Options{SkipAggregateVerify: c.Opts.SkipAggVerify},
+		Hooks: core.Hooks{
+			OnCommit: func(b *types.Block, now time.Duration) {
+				c.mu.Lock()
+				c.committed[pid] = append(c.committed[pid], b)
+				c.committedAt[pid] = append(c.committedAt[pid], now)
+				c.mu.Unlock()
+				c.Rec.Commit(b.Round, len(b.Payload), now)
+			},
+			OnPropose:     func(k types.Round, now time.Duration) { c.Rec.Propose(k, now) },
+			OnEnterRound:  func(k types.Round, now time.Duration) { c.Rec.EnterRound(k, now) },
+			OnFinishRound: func(k types.Round, now time.Duration) { c.Rec.FinishRound(k, now) },
+		},
+	}
+	if c.Opts.SimBeacon {
+		cfg.Beacon = beacon.NewSimulated(c.Opts.N, pid, c.Pub.GenesisSeed)
+	}
+	return cfg
+}
+
+// Start initialises all engines.
+func (c *Cluster) Start() { c.Net.Start() }
+
+// Committed returns a snapshot of party p's committed block sequence.
+func (c *Cluster) Committed(p types.PartyID) []*types.Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*types.Block, len(c.committed[p]))
+	copy(out, c.committed[p])
+	return out
+}
+
+// CommittedAt returns a snapshot of the commit times parallel to
+// Committed(p): blocks sharing a timestamp were output by one
+// finalization batch (Fig. 2).
+func (c *Cluster) CommittedAt(p types.PartyID) []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.committedAt[p]))
+	copy(out, c.committedAt[p])
+	return out
+}
+
+// MinCommitted returns the shortest committed-sequence length among the
+// given parties.
+func (c *Cluster) MinCommitted(parties []types.PartyID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	minLen := -1
+	for _, p := range parties {
+		l := len(c.committed[p])
+		if minLen < 0 || l < minLen {
+			minLen = l
+		}
+	}
+	return minLen
+}
+
+// HonestParties lists the parties with Honest behaviour.
+func (c *Cluster) HonestParties() []types.PartyID {
+	var out []types.PartyID
+	for i := 0; i < c.Opts.N; i++ {
+		if b, ok := c.Opts.Behaviors[types.PartyID(i)]; !ok || b == Honest {
+			out = append(out, types.PartyID(i))
+		}
+	}
+	return out
+}
+
+// RunUntilCommitted runs the simulation until every honest party has
+// committed at least minBlocks blocks, or simulated time passes limit.
+func (c *Cluster) RunUntilCommitted(minBlocks int, limit time.Duration) bool {
+	honest := c.HonestParties()
+	return c.Net.RunUntil(func() bool {
+		return c.MinCommitted(honest) >= minBlocks
+	}, limit)
+}
+
+// CheckSafety verifies the atomic-broadcast safety property over all
+// parties' outputs: any two committed sequences are prefix-comparable,
+// each forms a chain, and rounds strictly increase.
+func (c *Cluster) CheckSafety() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var longest []*types.Block
+	for _, seq := range c.committed {
+		if len(seq) > len(longest) {
+			longest = seq
+		}
+	}
+	for p, seq := range c.committed {
+		for i, b := range seq {
+			if b.Hash() != longest[i].Hash() {
+				return fmt.Errorf("safety violation: party %d diverges at position %d", p, i)
+			}
+			if i > 0 {
+				if b.ParentHash != seq[i-1].Hash() {
+					return fmt.Errorf("party %d: block %d does not extend block %d", p, i, i-1)
+				}
+				if b.Round <= seq[i-1].Round {
+					return fmt.Errorf("party %d: non-increasing rounds at position %d", p, i)
+				}
+			}
+		}
+	}
+	return nil
+}

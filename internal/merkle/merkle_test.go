@@ -1,0 +1,147 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestProofVerifyAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 40} {
+		ls := leaves(n)
+		tree, err := New(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(tree.Root(), ls[i], i, n, proof); err != nil {
+				t.Fatalf("n=%d leaf %d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := New(ls)
+	proof, _ := tree.Proof(3)
+	if Verify(tree.Root(), []byte("tampered"), 3, 8, proof) == nil {
+		t.Fatal("tampered leaf verified")
+	}
+}
+
+func TestVerifyRejectsWrongIndex(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := New(ls)
+	proof, _ := tree.Proof(3)
+	// Same data, same proof, different claimed index must fail (index is
+	// bound into the leaf digest).
+	if Verify(tree.Root(), ls[3], 2, 8, proof) == nil {
+		t.Fatal("proof verified at wrong index")
+	}
+	if Verify(tree.Root(), ls[3], -1, 8, proof) == nil {
+		t.Fatal("negative index verified")
+	}
+	if Verify(tree.Root(), ls[3], 9, 8, proof) == nil {
+		t.Fatal("out-of-range index verified")
+	}
+}
+
+func TestVerifyRejectsWrongProofLength(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := New(ls)
+	proof, _ := tree.Proof(3)
+	if Verify(tree.Root(), ls[3], 3, 8, proof[:2]) == nil {
+		t.Fatal("short proof verified")
+	}
+	if Verify(tree.Root(), ls[3], 3, 8, append(proof, proof[0])) == nil {
+		t.Fatal("long proof verified")
+	}
+}
+
+func TestVerifyRejectsCrossTree(t *testing.T) {
+	a, _ := New(leaves(8))
+	bLeaves := leaves(8)
+	bLeaves[5] = []byte("different")
+	b, _ := New(bLeaves)
+	proof, _ := a.Proof(5)
+	if Verify(b.Root(), leaves(8)[5], 5, 8, proof) == nil {
+		t.Fatal("proof verified under another tree's root")
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tree, err := New([][]byte{[]byte("only")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := tree.Proof(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) != 0 {
+		t.Fatalf("single-leaf proof length %d", len(proof))
+	}
+	if err := Verify(tree.Root(), []byte("only"), 0, 1, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofIndexValidation(t *testing.T) {
+	tree, _ := New(leaves(4))
+	if _, err := tree.Proof(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tree.Proof(4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestQuickRandomTrees(t *testing.T) {
+	f := func(data [][]byte, pick uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		tree, err := New(data)
+		if err != nil {
+			return false
+		}
+		i := int(pick) % len(data)
+		proof, err := tree.Proof(i)
+		if err != nil {
+			return false
+		}
+		return Verify(tree.Root(), data[i], i, len(data), proof) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild40Leaves64KB(b *testing.B) {
+	ls := make([][]byte, 40)
+	for i := range ls {
+		ls[i] = make([]byte, 64<<10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+// Package pool implements each party's message pool and block-tree
+// (paper §3.1, §3.4): the set of all artifacts received from all parties
+// (including itself), with the validity ladder a block climbs —
+// authentic → valid → notarized → finalized — computed relative to the
+// pool's contents.
+//
+// Cryptographic checks happen at admission: artifacts that fail
+// signature verification are rejected and never influence protocol
+// state. Validity (which is recursive through parent notarizations) is
+// evaluated on demand and memoized — the properties are monotone, so a
+// block that once classified as valid stays valid.
+package pool
+
+import (
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/keys"
+	"icc/internal/crypto/multisig"
+	"icc/internal/crypto/sig"
+	"icc/internal/types"
+)
+
+// Pool is one party's artifact store. Not safe for concurrent use; the
+// engine serialises access.
+type Pool struct {
+	pub  *keys.Public
+	self types.PartyID
+
+	rootHash hash.Digest
+
+	blocks  map[hash.Digest]*types.Block
+	byRound map[types.Round][]hash.Digest
+
+	auths        map[hash.Digest]*types.Authenticator
+	notarShares  map[hash.Digest]map[types.PartyID]*types.NotarizationShare
+	notarization map[hash.Digest]*types.Notarization
+	finalShares  map[hash.Digest]map[types.PartyID]*types.FinalizationShare
+	finalization map[hash.Digest]*types.Finalization
+
+	// Memoized ladder results (only `true` is cached — the properties
+	// are monotone in pool contents).
+	validCache map[hash.Digest]bool
+
+	// finalizedRounds tracks rounds for which a finalization artifact or
+	// a full share set might exist, so the finalizer doesn't scan
+	// everything.
+	finalizableDirty map[types.Round]struct{}
+
+	// verifyAggregates controls whether combined notarizations and
+	// finalizations are cryptographically verified at admission. Shares
+	// are always verified. Disabled only by large-scale simulation
+	// benchmarks.
+	verifyAggregates bool
+}
+
+// Options tunes a Pool.
+type Options struct {
+	// SkipAggregateVerify admits notarization/finalization aggregates
+	// without verifying their n−t signatures. Used by large simulation
+	// sweeps where all parties are honest-but-instrumented; never in
+	// production paths.
+	SkipAggregateVerify bool
+}
+
+// New creates an empty pool initialised with the root block, which is
+// "always considered authentic, valid, notarized, and finalized"
+// (paper §3.4).
+func New(pub *keys.Public, self types.PartyID, opts Options) *Pool {
+	root := types.RootBlock()
+	rh := root.Hash()
+	p := &Pool{
+		pub:              pub,
+		self:             self,
+		rootHash:         rh,
+		blocks:           map[hash.Digest]*types.Block{rh: root},
+		byRound:          map[types.Round][]hash.Digest{0: {rh}},
+		auths:            make(map[hash.Digest]*types.Authenticator),
+		notarShares:      make(map[hash.Digest]map[types.PartyID]*types.NotarizationShare),
+		notarization:     make(map[hash.Digest]*types.Notarization),
+		finalShares:      make(map[hash.Digest]map[types.PartyID]*types.FinalizationShare),
+		finalization:     make(map[hash.Digest]*types.Finalization),
+		validCache:       make(map[hash.Digest]bool),
+		finalizableDirty: make(map[types.Round]struct{}),
+		verifyAggregates: !opts.SkipAggregateVerify,
+	}
+	return p
+}
+
+// RootHash returns the hash of the genesis block.
+func (p *Pool) RootHash() hash.Digest { return p.rootHash }
+
+// AddBlock stores a block. It returns true if the block is new.
+// No signature check happens here — a block only matters once its
+// authenticator arrives (AddAuthenticator).
+func (p *Pool) AddBlock(b *types.Block) bool {
+	if b == nil || b.IsRoot() {
+		return false
+	}
+	h := b.Hash()
+	if _, ok := p.blocks[h]; ok {
+		return false
+	}
+	p.blocks[h] = b
+	p.byRound[b.Round] = append(p.byRound[b.Round], h)
+	return true
+}
+
+// AddAuthenticator verifies and stores an authenticator. Returns true if
+// newly stored.
+func (p *Pool) AddAuthenticator(a *types.Authenticator) bool {
+	if a == nil || a.Proposer < 0 || int(a.Proposer) >= p.pub.N || a.Round == 0 {
+		return false
+	}
+	if _, ok := p.auths[a.BlockHash]; ok {
+		return false
+	}
+	msg := types.SigningBytes(a.Round, a.Proposer, a.BlockHash)
+	if err := sig.Verify(p.pub.Auth[a.Proposer], types.DomainAuthenticator, msg, a.Sig); err != nil {
+		return false
+	}
+	p.auths[a.BlockHash] = a
+	return true
+}
+
+// AddNotarizationShare verifies and stores a share. Returns true if
+// newly stored. A share whose claimed (round, proposer) contradicts a
+// block already in the pool is rejected: it could never combine into a
+// verifiable notarization for that block, and counting it would let an
+// adversary inflate the share count.
+func (p *Pool) AddNotarizationShare(s *types.NotarizationShare) bool {
+	if s == nil || s.Signer < 0 || int(s.Signer) >= p.pub.N || s.Round == 0 {
+		return false
+	}
+	if b, ok := p.blocks[s.BlockHash]; ok && (b.Round != s.Round || b.Proposer != s.Proposer) {
+		return false
+	}
+	m := p.notarShares[s.BlockHash]
+	if _, dup := m[s.Signer]; dup {
+		return false
+	}
+	msg := types.SigningBytes(s.Round, s.Proposer, s.BlockHash)
+	if err := p.pub.Notary.VerifyShare(types.DomainNotarization, msg, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig}); err != nil {
+		return false
+	}
+	if m == nil {
+		m = make(map[types.PartyID]*types.NotarizationShare)
+		p.notarShares[s.BlockHash] = m
+	}
+	m[s.Signer] = s
+	return true
+}
+
+// AddNotarization verifies and stores a combined notarization. Returns
+// true if newly stored.
+func (p *Pool) AddNotarization(nz *types.Notarization) bool {
+	if nz == nil || nz.Round == 0 {
+		return false
+	}
+	if _, ok := p.notarization[nz.BlockHash]; ok {
+		return false
+	}
+	if p.verifyAggregates {
+		agg, err := multisig.DecodeAggregate(nz.Agg)
+		if err != nil {
+			return false
+		}
+		msg := types.SigningBytes(nz.Round, nz.Proposer, nz.BlockHash)
+		if err := p.pub.Notary.Verify(types.DomainNotarization, msg, agg); err != nil {
+			return false
+		}
+	}
+	p.notarization[nz.BlockHash] = nz
+	return true
+}
+
+// AddFinalizationShare verifies and stores a share. Returns true if
+// newly stored (same mismatch rule as AddNotarizationShare).
+func (p *Pool) AddFinalizationShare(s *types.FinalizationShare) bool {
+	if s == nil || s.Signer < 0 || int(s.Signer) >= p.pub.N || s.Round == 0 {
+		return false
+	}
+	if b, ok := p.blocks[s.BlockHash]; ok && (b.Round != s.Round || b.Proposer != s.Proposer) {
+		return false
+	}
+	m := p.finalShares[s.BlockHash]
+	if _, dup := m[s.Signer]; dup {
+		return false
+	}
+	msg := types.SigningBytes(s.Round, s.Proposer, s.BlockHash)
+	if err := p.pub.Final.VerifyShare(types.DomainFinalization, msg, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig}); err != nil {
+		return false
+	}
+	if m == nil {
+		m = make(map[types.PartyID]*types.FinalizationShare)
+		p.finalShares[s.BlockHash] = m
+	}
+	m[s.Signer] = s
+	p.finalizableDirty[s.Round] = struct{}{}
+	return true
+}
+
+// AddFinalization verifies and stores a combined finalization. Returns
+// true if newly stored.
+func (p *Pool) AddFinalization(f *types.Finalization) bool {
+	if f == nil || f.Round == 0 {
+		return false
+	}
+	if _, ok := p.finalization[f.BlockHash]; ok {
+		return false
+	}
+	if p.verifyAggregates {
+		agg, err := multisig.DecodeAggregate(f.Agg)
+		if err != nil {
+			return false
+		}
+		msg := types.SigningBytes(f.Round, f.Proposer, f.BlockHash)
+		if err := p.pub.Final.Verify(types.DomainFinalization, msg, agg); err != nil {
+			return false
+		}
+	}
+	p.finalization[f.BlockHash] = f
+	p.finalizableDirty[f.Round] = struct{}{}
+	return true
+}
+
+// Block returns the block with the given hash, if present.
+func (p *Pool) Block(h hash.Digest) *types.Block { return p.blocks[h] }
+
+// IsAuthentic reports whether the block is present with a verified
+// authenticator whose (round, proposer) matches the block's own claim
+// (paper §3.4).
+func (p *Pool) IsAuthentic(h hash.Digest) bool {
+	if h == p.rootHash {
+		return true
+	}
+	b, ok := p.blocks[h]
+	if !ok {
+		return false
+	}
+	a, ok := p.auths[h]
+	return ok && a.Round == b.Round && a.Proposer == b.Proposer
+}
+
+// IsValid reports whether the block is valid: authentic, and its parent
+// is a notarized block of the previous round (paper §3.4).
+func (p *Pool) IsValid(h hash.Digest) bool {
+	if h == p.rootHash {
+		return true
+	}
+	if p.validCache[h] {
+		return true
+	}
+	b, ok := p.blocks[h]
+	if !ok || !p.IsAuthentic(h) {
+		return false
+	}
+	parent, ok := p.blocks[b.ParentHash]
+	if !ok || parent.Round != b.Round-1 {
+		return false
+	}
+	if !p.IsNotarized(b.ParentHash) {
+		return false
+	}
+	p.validCache[h] = true
+	return true
+}
+
+// IsNotarized reports whether the block is valid and carries a
+// notarization (paper §3.4). The root is always notarized.
+func (p *Pool) IsNotarized(h hash.Digest) bool {
+	if h == p.rootHash {
+		return true
+	}
+	if _, ok := p.notarization[h]; !ok {
+		return false
+	}
+	return p.IsValid(h)
+}
+
+// IsFinalized reports whether the block is valid and carries a
+// finalization.
+func (p *Pool) IsFinalized(h hash.Digest) bool {
+	if h == p.rootHash {
+		return true
+	}
+	if _, ok := p.finalization[h]; !ok {
+		return false
+	}
+	return p.IsValid(h)
+}
+
+// BlocksInRound returns the hashes of all blocks stored for a round.
+func (p *Pool) BlocksInRound(k types.Round) []hash.Digest {
+	return p.byRound[k]
+}
+
+// NotarizedInRound returns the first notarized block of the round found,
+// if any.
+func (p *Pool) NotarizedInRound(k types.Round) (hash.Digest, bool) {
+	for _, h := range p.byRound[k] {
+		if p.IsNotarized(h) {
+			return h, true
+		}
+	}
+	return hash.Digest{}, false
+}
+
+// NotarShareCount returns how many distinct verified notarization shares
+// are held for the block.
+func (p *Pool) NotarShareCount(h hash.Digest) int { return len(p.notarShares[h]) }
+
+// NotarShares returns the verified notarization shares for the block as
+// multisig shares ready for combination.
+func (p *Pool) NotarShares(h hash.Digest) []*multisig.Share {
+	m := p.notarShares[h]
+	out := make([]*multisig.Share, 0, len(m))
+	for pid := 0; pid < p.pub.N; pid++ {
+		if s, ok := m[types.PartyID(pid)]; ok {
+			out = append(out, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+		}
+	}
+	return out
+}
+
+// Notarization returns the stored notarization for the block, if any.
+func (p *Pool) Notarization(h hash.Digest) *types.Notarization { return p.notarization[h] }
+
+// FinalShareCount returns how many distinct verified finalization shares
+// are held for the block.
+func (p *Pool) FinalShareCount(h hash.Digest) int { return len(p.finalShares[h]) }
+
+// FinalShares returns the verified finalization shares for the block.
+func (p *Pool) FinalShares(h hash.Digest) []*multisig.Share {
+	m := p.finalShares[h]
+	out := make([]*multisig.Share, 0, len(m))
+	for pid := 0; pid < p.pub.N; pid++ {
+		if s, ok := m[types.PartyID(pid)]; ok {
+			out = append(out, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+		}
+	}
+	return out
+}
+
+// Finalization returns the stored finalization for the block, if any.
+func (p *Pool) Finalization(h hash.Digest) *types.Finalization { return p.finalization[h] }
+
+// Authenticator returns the stored authenticator for the block, if any.
+func (p *Pool) Authenticator(h hash.Digest) *types.Authenticator { return p.auths[h] }
+
+// DirtyFinalizableRounds returns (and clears) the set of rounds whose
+// finalization state changed since the last call — the finalizer's work
+// list.
+func (p *Pool) DirtyFinalizableRounds() []types.Round {
+	if len(p.finalizableDirty) == 0 {
+		return nil
+	}
+	out := make([]types.Round, 0, len(p.finalizableDirty))
+	for k := range p.finalizableDirty {
+		out = append(out, k)
+	}
+	p.finalizableDirty = make(map[types.Round]struct{})
+	return out
+}
+
+// Chain returns the blocks strictly above `aboveRound` on the path from
+// the root to the block h, ordered by increasing round. It returns nil
+// if any ancestor is missing from the pool.
+func (p *Pool) Chain(h hash.Digest, aboveRound types.Round) []*types.Block {
+	var rev []*types.Block
+	cur := h
+	for {
+		if cur == p.rootHash {
+			break
+		}
+		b, ok := p.blocks[cur]
+		if !ok {
+			return nil
+		}
+		if b.Round <= aboveRound {
+			break
+		}
+		rev = append(rev, b)
+		cur = b.ParentHash
+	}
+	out := make([]*types.Block, len(rev))
+	for i, b := range rev {
+		out[len(rev)-1-i] = b
+	}
+	return out
+}
+
+// Prune discards artifacts for rounds strictly below `before`, except
+// the root. The paper keeps pools unbounded (§3.1) but notes a practical
+// implementation would garbage-collect; long-running simulations need
+// this.
+func (p *Pool) Prune(before types.Round) {
+	// Memoize the validity of every retained block while its ancestors
+	// are still present; validity is monotone, so the cached result
+	// remains correct after the ancestors are dropped.
+	for k, hs := range p.byRound {
+		if k < before {
+			continue
+		}
+		for _, h := range hs {
+			p.IsValid(h)
+		}
+	}
+	for k, hs := range p.byRound {
+		if k == 0 || k >= before {
+			continue
+		}
+		for _, h := range hs {
+			delete(p.blocks, h)
+			delete(p.auths, h)
+			delete(p.notarShares, h)
+			delete(p.notarization, h)
+			delete(p.finalShares, h)
+			delete(p.finalization, h)
+			delete(p.validCache, h)
+		}
+		delete(p.byRound, k)
+	}
+	for k := range p.finalizableDirty {
+		if k < before {
+			delete(p.finalizableDirty, k)
+		}
+	}
+}

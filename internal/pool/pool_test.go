@@ -1,0 +1,343 @@
+package pool
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/keys"
+	"icc/internal/crypto/sig"
+	"icc/internal/types"
+)
+
+type fixture struct {
+	pub   *keys.Public
+	privs []keys.Private
+	pool  *Pool
+}
+
+func newFixture(t testing.TB, n int) *fixture {
+	t.Helper()
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{pub: pub, privs: privs, pool: New(pub, 0, Options{})}
+}
+
+// block builds a round-k block by the given proposer on the given parent.
+func (f *fixture) block(round types.Round, proposer types.PartyID, parent hash.Digest, payload string) *types.Block {
+	return &types.Block{Round: round, Proposer: proposer, ParentHash: parent, Payload: []byte(payload)}
+}
+
+func (f *fixture) auth(b *types.Block) *types.Authenticator {
+	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
+	return &types.Authenticator{
+		Round: b.Round, Proposer: b.Proposer, BlockHash: b.Hash(),
+		Sig: sig.Sign(f.privs[b.Proposer].Auth, types.DomainAuthenticator, msg),
+	}
+}
+
+func (f *fixture) nshare(b *types.Block, signer types.PartyID) *types.NotarizationShare {
+	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
+	s := f.privs[signer].Notary.Sign(types.DomainNotarization, msg)
+	return &types.NotarizationShare{Round: b.Round, Proposer: b.Proposer, BlockHash: b.Hash(),
+		Signer: signer, Sig: s.Signature}
+}
+
+func (f *fixture) fshare(b *types.Block, signer types.PartyID) *types.FinalizationShare {
+	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
+	s := f.privs[signer].Final.Sign(types.DomainFinalization, msg)
+	return &types.FinalizationShare{Round: b.Round, Proposer: b.Proposer, BlockHash: b.Hash(),
+		Signer: signer, Sig: s.Signature}
+}
+
+func (f *fixture) notarization(t testing.TB, b *types.Block) *types.Notarization {
+	t.Helper()
+	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
+	shares := f.pool.NotarShares(b.Hash())
+	agg, err := f.pub.Notary.Combine(types.DomainNotarization, msg, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &types.Notarization{Round: b.Round, Proposer: b.Proposer, BlockHash: b.Hash(), Agg: agg.Encode()}
+}
+
+// notarize fully notarizes a block in the pool (adds block, auth, all
+// shares, combined notarization).
+func (f *fixture) notarize(t testing.TB, b *types.Block) {
+	t.Helper()
+	f.pool.AddBlock(b)
+	f.pool.AddAuthenticator(f.auth(b))
+	for i := 0; i < f.pub.N; i++ {
+		f.pool.AddNotarizationShare(f.nshare(b, types.PartyID(i)))
+	}
+	if !f.pool.AddNotarization(f.notarization(t, b)) {
+		t.Fatal("notarization rejected")
+	}
+}
+
+func TestRootIsEverything(t *testing.T) {
+	f := newFixture(t, 4)
+	rh := f.pool.RootHash()
+	if !f.pool.IsAuthentic(rh) || !f.pool.IsValid(rh) || !f.pool.IsNotarized(rh) || !f.pool.IsFinalized(rh) {
+		t.Fatal("root must be authentic, valid, notarized, finalized")
+	}
+}
+
+func TestValidityLadder(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 2, f.pool.RootHash(), "payload")
+	h := b.Hash()
+
+	if f.pool.IsAuthentic(h) {
+		t.Fatal("unknown block authentic")
+	}
+	f.pool.AddBlock(b)
+	if f.pool.IsAuthentic(h) {
+		t.Fatal("block without authenticator is authentic")
+	}
+	f.pool.AddAuthenticator(f.auth(b))
+	if !f.pool.IsAuthentic(h) {
+		t.Fatal("authenticated block not authentic")
+	}
+	if !f.pool.IsValid(h) {
+		t.Fatal("round-1 block on root should be valid")
+	}
+	if f.pool.IsNotarized(h) {
+		t.Fatal("block without notarization notarized")
+	}
+	// n−t = 3 shares needed.
+	f.pool.AddNotarizationShare(f.nshare(b, 0))
+	f.pool.AddNotarizationShare(f.nshare(b, 1))
+	if f.pool.NotarShareCount(h) != 2 {
+		t.Fatalf("share count %d, want 2", f.pool.NotarShareCount(h))
+	}
+	f.pool.AddNotarizationShare(f.nshare(b, 3))
+	nz := f.notarization(t, b)
+	if !f.pool.AddNotarization(nz) {
+		t.Fatal("valid notarization rejected")
+	}
+	if !f.pool.IsNotarized(h) {
+		t.Fatal("notarized block not notarized")
+	}
+	got, ok := f.pool.NotarizedInRound(1)
+	if !ok || got != h {
+		t.Fatal("NotarizedInRound missed the block")
+	}
+}
+
+func TestValidityRequiresNotarizedParent(t *testing.T) {
+	f := newFixture(t, 4)
+	b1 := f.block(1, 0, f.pool.RootHash(), "a")
+	b2 := f.block(2, 1, b1.Hash(), "b")
+	f.pool.AddBlock(b2)
+	f.pool.AddAuthenticator(f.auth(b2))
+	if f.pool.IsValid(b2.Hash()) {
+		t.Fatal("block with unknown parent valid")
+	}
+	f.pool.AddBlock(b1)
+	f.pool.AddAuthenticator(f.auth(b1))
+	if f.pool.IsValid(b2.Hash()) {
+		t.Fatal("block with non-notarized parent valid")
+	}
+	f.notarize(t, b1)
+	if !f.pool.IsValid(b2.Hash()) {
+		t.Fatal("block with notarized parent not valid")
+	}
+}
+
+func TestValidityRejectsWrongParentRound(t *testing.T) {
+	f := newFixture(t, 4)
+	b1 := f.block(1, 0, f.pool.RootHash(), "a")
+	f.notarize(t, b1)
+	// A round-3 block pointing at a round-1 parent must not be valid.
+	b3 := f.block(3, 1, b1.Hash(), "skip")
+	f.pool.AddBlock(b3)
+	f.pool.AddAuthenticator(f.auth(b3))
+	if f.pool.IsValid(b3.Hash()) {
+		t.Fatal("block skipping a round considered valid")
+	}
+}
+
+func TestRejectsBadSignatures(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 2, f.pool.RootHash(), "x")
+	f.pool.AddBlock(b)
+	// Authenticator signed by the wrong party.
+	bad := f.auth(b)
+	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
+	bad.Sig = sig.Sign(f.privs[1].Auth, types.DomainAuthenticator, msg)
+	if f.pool.AddAuthenticator(bad) {
+		t.Fatal("wrong-signer authenticator accepted")
+	}
+	// Share with mismatched signer field.
+	s := f.nshare(b, 0)
+	s.Signer = 1
+	if f.pool.AddNotarizationShare(s) {
+		t.Fatal("share with stolen identity accepted")
+	}
+	// Out-of-range values.
+	if f.pool.AddAuthenticator(&types.Authenticator{Round: 1, Proposer: 9}) {
+		t.Fatal("out-of-range proposer accepted")
+	}
+	if f.pool.AddNotarizationShare(&types.NotarizationShare{Round: 1, Signer: -1}) {
+		t.Fatal("negative signer accepted")
+	}
+	// Garbage aggregate.
+	if f.pool.AddNotarization(&types.Notarization{Round: 1, Proposer: 2, BlockHash: b.Hash(), Agg: []byte{1, 2}}) {
+		t.Fatal("garbage notarization accepted")
+	}
+}
+
+func TestAuthenticatorMustMatchBlockFields(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 2, f.pool.RootHash(), "x")
+	f.pool.AddBlock(b)
+	// Party 2 signs an authenticator for the right hash but the wrong
+	// round claim; IsAuthentic must stay false because the block's own
+	// fields disagree. (The signature itself is over the claimed tuple.)
+	msg := types.SigningBytes(5, 2, b.Hash())
+	a := &types.Authenticator{Round: 5, Proposer: 2, BlockHash: b.Hash(),
+		Sig: sig.Sign(f.privs[2].Auth, types.DomainAuthenticator, msg)}
+	f.pool.AddAuthenticator(a)
+	if f.pool.IsAuthentic(b.Hash()) {
+		t.Fatal("mismatched authenticator made block authentic")
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 0, f.pool.RootHash(), "x")
+	if !f.pool.AddBlock(b) || f.pool.AddBlock(b) {
+		t.Fatal("duplicate block handling wrong")
+	}
+	a := f.auth(b)
+	if !f.pool.AddAuthenticator(a) || f.pool.AddAuthenticator(a) {
+		t.Fatal("duplicate authenticator handling wrong")
+	}
+	s := f.nshare(b, 1)
+	if !f.pool.AddNotarizationShare(s) || f.pool.AddNotarizationShare(s) {
+		t.Fatal("duplicate share handling wrong")
+	}
+}
+
+func TestFinalizationFlow(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 0, f.pool.RootHash(), "x")
+	f.notarize(t, b)
+	for i := 0; i < 3; i++ {
+		if !f.pool.AddFinalizationShare(f.fshare(b, types.PartyID(i))) {
+			t.Fatal("finalization share rejected")
+		}
+	}
+	if f.pool.FinalShareCount(b.Hash()) != 3 {
+		t.Fatal("final share count wrong")
+	}
+	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
+	agg, err := f.pub.Final.Combine(types.DomainFinalization, msg, f.pool.FinalShares(b.Hash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := &types.Finalization{Round: 1, Proposer: 0, BlockHash: b.Hash(), Agg: agg.Encode()}
+	if !f.pool.AddFinalization(fin) {
+		t.Fatal("finalization rejected")
+	}
+	if !f.pool.IsFinalized(b.Hash()) {
+		t.Fatal("finalized block not finalized")
+	}
+	dirty := f.pool.DirtyFinalizableRounds()
+	if len(dirty) != 1 || dirty[0] != 1 {
+		t.Fatalf("dirty rounds = %v, want [1]", dirty)
+	}
+	if f.pool.DirtyFinalizableRounds() != nil {
+		t.Fatal("dirty rounds not cleared")
+	}
+}
+
+func TestChain(t *testing.T) {
+	f := newFixture(t, 4)
+	b1 := f.block(1, 0, f.pool.RootHash(), "a")
+	f.notarize(t, b1)
+	b2 := f.block(2, 1, b1.Hash(), "b")
+	f.notarize(t, b2)
+	b3 := f.block(3, 2, b2.Hash(), "c")
+	f.notarize(t, b3)
+
+	chain := f.pool.Chain(b3.Hash(), 0)
+	if len(chain) != 3 || chain[0].Hash() != b1.Hash() || chain[2].Hash() != b3.Hash() {
+		t.Fatalf("full chain wrong: %d blocks", len(chain))
+	}
+	chain = f.pool.Chain(b3.Hash(), 1)
+	if len(chain) != 2 || chain[0].Hash() != b2.Hash() {
+		t.Fatal("partial chain wrong")
+	}
+	if f.pool.Chain(b3.Hash(), 3) != nil && len(f.pool.Chain(b3.Hash(), 3)) != 0 {
+		t.Fatal("empty chain wrong")
+	}
+	// Missing ancestor → nil.
+	orphan := f.block(5, 0, hash.SumUint64(hash.DomainBlock, 77), "o")
+	f.pool.AddBlock(orphan)
+	if f.pool.Chain(orphan.Hash(), 0) != nil {
+		t.Fatal("chain with missing ancestor should be nil")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	f := newFixture(t, 4)
+	b1 := f.block(1, 0, f.pool.RootHash(), "a")
+	f.notarize(t, b1)
+	b2 := f.block(2, 1, b1.Hash(), "b")
+	f.notarize(t, b2)
+	b3 := f.block(3, 2, b2.Hash(), "c")
+	f.notarize(t, b3)
+
+	f.pool.Prune(3)
+	if f.pool.Block(b1.Hash()) != nil || f.pool.Block(b2.Hash()) != nil {
+		t.Fatal("pruned blocks still present")
+	}
+	if f.pool.Block(b3.Hash()) == nil {
+		t.Fatal("unpruned block missing")
+	}
+	// b3's validity was cached before the prune, so it survives.
+	if !f.pool.IsNotarized(b3.Hash()) {
+		t.Fatal("cached validity lost on prune")
+	}
+	// Root always survives.
+	if !f.pool.IsFinalized(f.pool.RootHash()) {
+		t.Fatal("root pruned")
+	}
+}
+
+func TestSkipAggregateVerify(t *testing.T) {
+	pub, _, err := keys.Deal(rand.Reader, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(pub, 0, Options{SkipAggregateVerify: true})
+	// A structurally garbage aggregate is admitted in this mode.
+	if !p.AddNotarization(&types.Notarization{Round: 1, Proposer: 0, BlockHash: hash.SumUint64(hash.DomainBlock, 1), Agg: []byte{0}}) {
+		t.Fatal("skip-verify pool rejected aggregate")
+	}
+}
+
+func TestShareRoundMismatchRejected(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 0, f.pool.RootHash(), "x")
+	f.pool.AddBlock(b)
+	// A share signing (round 2) for this round-1 block: valid signature
+	// over its own claim, but contradicting the block — rejected.
+	s := f.nshare(b, 1)
+	s.Round = 2
+	msg := types.SigningBytes(2, b.Proposer, b.Hash())
+	s.Sig = f.privs[1].Notary.Sign(types.DomainNotarization, msg).Signature
+	if f.pool.AddNotarizationShare(s) {
+		t.Fatal("round-mismatched notarization share admitted")
+	}
+	fs := f.fshare(b, 1)
+	fs.Round = 2
+	fs.Sig = f.privs[1].Final.Sign(types.DomainFinalization, msg).Signature
+	if f.pool.AddFinalizationShare(fs) {
+		t.Fatal("round-mismatched finalization share admitted")
+	}
+}

@@ -1,0 +1,109 @@
+// Package runtime hosts a consensus engine on real time: a goroutine
+// event loop that feeds the engine received messages and timer ticks and
+// pushes its outputs into a transport. The same engine code that runs
+// under the discrete-event simulator runs here unchanged.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"icc/internal/clock"
+	"icc/internal/engine"
+	"icc/internal/transport"
+	"icc/internal/types"
+)
+
+// Runner drives one engine.
+type Runner struct {
+	eng engine.Engine
+	ep  transport.Endpoint
+	clk clock.Clock
+	n   int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRunner assembles a runner for an n-party cluster.
+func NewRunner(eng engine.Engine, ep transport.Endpoint, clk clock.Clock, n int) *Runner {
+	return &Runner{
+		eng:  eng,
+		ep:   ep,
+		clk:  clk,
+		n:    n,
+		stop: make(chan struct{}),
+	}
+}
+
+// Start launches the event loop.
+func (r *Runner) Start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+func (r *Runner) loop() {
+	defer r.wg.Done()
+	r.send(r.eng.Init(r.clk.Now()))
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		r.armTimer(timer)
+		select {
+		case <-r.stop:
+			return
+		case env, ok := <-r.ep.Inbox():
+			if !ok {
+				return
+			}
+			r.send(r.eng.HandleMessage(env.From, env.Msg, r.clk.Now()))
+		case <-timer.C:
+			r.send(r.eng.Tick(r.clk.Now()))
+		}
+	}
+}
+
+// armTimer resets the timer to the engine's next wake point.
+func (r *Runner) armTimer(timer *time.Timer) {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	now := r.clk.Now()
+	if at, ok := r.eng.NextWake(now); ok {
+		d := at - now
+		if d < 0 {
+			d = 0
+		}
+		timer.Reset(d)
+		return
+	}
+	timer.Reset(time.Hour) // no pending wake: idle heartbeat
+}
+
+// send pushes engine outputs into the transport.
+func (r *Runner) send(outs []engine.Output) {
+	for _, o := range outs {
+		if o.Broadcast {
+			for p := 0; p < r.n; p++ {
+				pid := types.PartyID(p)
+				if pid == r.eng.ID() {
+					continue
+				}
+				_ = r.ep.Send(pid, o.Msg) // transient failures: protocol-level recovery
+			}
+			continue
+		}
+		_ = r.ep.Send(o.To, o.Msg)
+	}
+}

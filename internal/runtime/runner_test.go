@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"icc/internal/clock"
+	"icc/internal/engine"
+	"icc/internal/transport"
+	"icc/internal/types"
+)
+
+// pingEngine broadcasts one message at Init, counts receipts, and asks
+// for a tick shortly after start.
+type pingEngine struct {
+	mu       sync.Mutex
+	id       types.PartyID
+	received int
+	ticks    int
+	wakeAt   time.Duration
+	woken    bool
+}
+
+func (p *pingEngine) ID() types.PartyID { return p.id }
+
+func (p *pingEngine) Init(now time.Duration) []engine.Output {
+	return []engine.Output{engine.Broadcast(&types.BeaconShare{Round: 1, Signer: p.id, Share: []byte{byte(p.id)}})}
+}
+
+func (p *pingEngine) HandleMessage(_ types.PartyID, _ types.Message, _ time.Duration) []engine.Output {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.received++
+	return nil
+}
+
+func (p *pingEngine) Tick(now time.Duration) []engine.Output {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ticks++
+	p.woken = true
+	return nil
+}
+
+func (p *pingEngine) NextWake(now time.Duration) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.woken {
+		return 0, false
+	}
+	return p.wakeAt, true
+}
+
+func (p *pingEngine) CurrentRound() types.Round { return 1 }
+
+func (p *pingEngine) snapshot() (int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.received, p.ticks
+}
+
+func TestRunnersExchangeMessages(t *testing.T) {
+	const n = 3
+	hub := transport.NewInproc(n)
+	defer hub.Close()
+	clk := clock.NewWall()
+	engines := make([]*pingEngine, n)
+	runners := make([]*Runner, n)
+	for i := 0; i < n; i++ {
+		engines[i] = &pingEngine{id: types.PartyID(i), wakeAt: 20 * time.Millisecond}
+		runners[i] = NewRunner(engines[i], hub.Endpoint(types.PartyID(i)), clk, n)
+		runners[i].Start()
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, e := range engines {
+			recv, ticks := e.snapshot()
+			if recv != n-1 || ticks == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, e := range engines {
+		recv, ticks := e.snapshot()
+		t.Logf("engine %d: received %d, ticks %d", i, recv, ticks)
+	}
+	t.Fatal("runners did not exchange messages and tick")
+}
+
+func TestStopIsIdempotentAndTerminates(t *testing.T) {
+	hub := transport.NewInproc(1)
+	defer hub.Close()
+	e := &pingEngine{id: 0, wakeAt: time.Hour}
+	r := NewRunner(e, hub.Endpoint(0), clock.NewWall(), 1)
+	r.Start()
+	done := make(chan struct{})
+	go func() {
+		r.Stop()
+		r.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung")
+	}
+}
+
+func TestRunnerExitsWhenInboxCloses(t *testing.T) {
+	hub := transport.NewInproc(1)
+	e := &pingEngine{id: 0, wakeAt: time.Hour}
+	r := NewRunner(e, hub.Endpoint(0), clock.NewWall(), 1)
+	r.Start()
+	hub.Close() // closes the inbox channel
+	done := make(chan struct{})
+	go func() {
+		r.Stop() // must return promptly because the loop already exited
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner did not exit on closed inbox")
+	}
+}

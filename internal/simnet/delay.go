@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"icc/internal/types"
+)
+
+// DelayModel decides how long a message takes from one party to another,
+// and whether it is delivered at all. Implementations must be
+// deterministic given the rng stream.
+//
+// Note on faithfulness: the paper assumes every message between honest
+// parties is eventually delivered (§1). Models that drop messages should
+// therefore only be used for corrupt senders or together with a
+// retransmitting layer such as gossip.
+type DelayModel interface {
+	Sample(rng *rand.Rand, from, to types.PartyID, size int) (delay time.Duration, deliver bool)
+}
+
+// Fixed delivers every message after exactly D.
+type Fixed struct {
+	D time.Duration
+}
+
+// Sample implements DelayModel.
+func (f Fixed) Sample(_ *rand.Rand, _, _ types.PartyID, _ int) (time.Duration, bool) {
+	return f.D, true
+}
+
+// Uniform delivers after a delay uniform in [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample implements DelayModel.
+func (u Uniform) Sample(rng *rand.Rand, _, _ types.PartyID, _ int) (time.Duration, bool) {
+	if u.Max <= u.Min {
+		return u.Min, true
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min))), true
+}
+
+// LinkMatrix assigns each ordered pair of parties a base one-way delay
+// plus uniform jitter — the shape of the paper's deployment measurements
+// (§5: ping RTTs between 6 ms and 110 ms across data centers).
+type LinkMatrix struct {
+	Base   [][]time.Duration
+	Jitter time.Duration
+}
+
+// NewWANMatrix builds a LinkMatrix for n parties with symmetric one-way
+// base delays drawn uniformly from [minRTT/2, maxRTT/2].
+func NewWANMatrix(n int, minRTT, maxRTT time.Duration, seed int64) *LinkMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([][]time.Duration, n)
+	for i := range base {
+		base[i] = make([]time.Duration, n)
+	}
+	lo, hi := minRTT/2, maxRTT/2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := lo
+			if hi > lo {
+				d += time.Duration(rng.Int63n(int64(hi - lo)))
+			}
+			base[i][j] = d
+			base[j][i] = d
+		}
+	}
+	return &LinkMatrix{Base: base, Jitter: minRTT / 4}
+}
+
+// MaxOneWay returns the largest base one-way delay plus jitter — a sound
+// Δbnd for the matrix.
+func (l *LinkMatrix) MaxOneWay() time.Duration {
+	var maxDelay time.Duration
+	for i := range l.Base {
+		for j := range l.Base[i] {
+			if l.Base[i][j] > maxDelay {
+				maxDelay = l.Base[i][j]
+			}
+		}
+	}
+	return maxDelay + l.Jitter
+}
+
+// Sample implements DelayModel.
+func (l *LinkMatrix) Sample(rng *rand.Rand, from, to types.PartyID, _ int) (time.Duration, bool) {
+	d := l.Base[from][to]
+	if l.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(l.Jitter)))
+	}
+	return d, true
+}
+
+// Bandwidth wraps a model and adds size-proportional transmission time,
+// modelling a per-party uplink. It makes large-block dissemination cost
+// visible (the leader-bottleneck effect of [35] the paper discusses).
+type Bandwidth struct {
+	Inner       DelayModel
+	BytesPerSec int64
+}
+
+// Sample implements DelayModel.
+func (b Bandwidth) Sample(rng *rand.Rand, from, to types.PartyID, size int) (time.Duration, bool) {
+	d, ok := b.Inner.Sample(rng, from, to, size)
+	if !ok {
+		return 0, false
+	}
+	if b.BytesPerSec > 0 {
+		d += time.Duration(int64(time.Second) * int64(size) / b.BytesPerSec)
+	}
+	return d, true
+}
+
+// Window is a half-open interval of simulated time.
+type Window struct {
+	From, To time.Duration
+}
+
+// AsyncWindows inflates delays by Extra during the given windows,
+// modelling periods of network asynchrony in the partial-synchrony model
+// (§1: "the network is synchronous for relatively short intervals of
+// time every now and then").
+//
+// The window test uses the send time, which the host passes via
+// SetNow before sampling.
+type AsyncWindows struct {
+	Inner   DelayModel
+	Windows []Window
+	Extra   time.Duration
+
+	now time.Duration
+}
+
+// SetNow informs the model of the current simulation time. The simulator
+// calls this before each Sample.
+func (a *AsyncWindows) SetNow(t time.Duration) { a.now = t }
+
+// Sample implements DelayModel.
+func (a *AsyncWindows) Sample(rng *rand.Rand, from, to types.PartyID, size int) (time.Duration, bool) {
+	d, ok := a.Inner.Sample(rng, from, to, size)
+	if !ok {
+		return 0, false
+	}
+	for _, w := range a.Windows {
+		if a.now >= w.From && a.now < w.To {
+			// Deliver after the window ends plus the residual delay, so
+			// messages sent during asynchrony are delayed, not lost.
+			d += a.Extra + (w.To - a.now)
+			break
+		}
+	}
+	return d, true
+}
+
+// nowAware is implemented by models that need the current time.
+type nowAware interface {
+	SetNow(time.Duration)
+}

@@ -1,0 +1,126 @@
+package statemachine
+
+import (
+	"sync"
+
+	"icc/internal/crypto/hash"
+	"icc/internal/types"
+)
+
+// Queue is a thread-safe pending-command queue implementing the
+// consensus engine's PayloadSource. GetPayload batches pending commands,
+// skipping any command already present in the chain being extended
+// (within DedupDepth ancestor blocks).
+type Queue struct {
+	mu      sync.Mutex
+	pending []Command
+	// inFlight tracks identities currently pending, to reject duplicate
+	// submissions.
+	inFlight map[ident]struct{}
+
+	// MaxBatch bounds commands per payload (default 1024).
+	MaxBatch int
+	// MaxBytes bounds the encoded payload size (default 4 MiB).
+	MaxBytes int
+	// DedupDepth bounds how many ancestor blocks are consulted for
+	// duplicate suppression (default 64).
+	DedupDepth int
+}
+
+// NewQueue creates a Queue with default limits.
+func NewQueue() *Queue {
+	return &Queue{
+		inFlight:   make(map[ident]struct{}),
+		MaxBatch:   1024,
+		MaxBytes:   4 << 20,
+		DedupDepth: 64,
+	}
+}
+
+// Submit enqueues a command. Returns false if an identical (client, seq)
+// command is already pending.
+func (q *Queue) Submit(c Command) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id := ident{c.Client, c.Seq}
+	if _, dup := q.inFlight[id]; dup {
+		return false
+	}
+	q.inFlight[id] = struct{}{}
+	q.pending = append(q.pending, c)
+	return true
+}
+
+// Len returns the number of pending commands.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// MarkCommitted removes the commands of a committed payload from the
+// queue (they no longer need proposing).
+func (q *Queue) MarkCommitted(payload []byte) {
+	cmds, err := DecodePayload(payload)
+	if err != nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	drop := make(map[ident]struct{}, len(cmds))
+	for _, c := range cmds {
+		drop[ident{c.Client, c.Seq}] = struct{}{}
+	}
+	kept := q.pending[:0]
+	for _, c := range q.pending {
+		id := ident{c.Client, c.Seq}
+		if _, gone := drop[id]; gone {
+			delete(q.inFlight, id)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	q.pending = kept
+}
+
+// GetPayload implements core.PayloadSource.
+func (q *Queue) GetPayload(_ types.Round, parent *types.Block, lookup func(hash.Digest) *types.Block) []byte {
+	inChain := q.chainIdents(parent, lookup)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var batch []Command
+	bytes := 4
+	for _, c := range q.pending {
+		if len(batch) >= q.MaxBatch || bytes > q.MaxBytes {
+			break
+		}
+		if _, dup := inChain[ident{c.Client, c.Seq}]; dup {
+			continue
+		}
+		batch = append(batch, c)
+		bytes += 17 + 8 + len(c.Key) + len(c.Value)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	return EncodePayload(batch)
+}
+
+// chainIdents collects the command identities of up to DedupDepth
+// ancestors ending at parent.
+func (q *Queue) chainIdents(parent *types.Block, lookup func(hash.Digest) *types.Block) map[ident]struct{} {
+	out := make(map[ident]struct{})
+	cur := parent
+	for depth := 0; cur != nil && !cur.IsRoot() && depth < q.DedupDepth; depth++ {
+		if cmds, err := DecodePayload(cur.Payload); err == nil {
+			for _, c := range cmds {
+				out[ident{c.Client, c.Seq}] = struct{}{}
+			}
+		}
+		if lookup == nil {
+			break
+		}
+		cur = lookup(cur.ParentHash)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"icc/internal/types"
+)
+
+// TCP is a transport over TCP connections with length-prefixed frames.
+// Each node listens on its own address and lazily dials its peers;
+// connections self-identify with a one-frame handshake carrying the
+// sender's party ID. Failed connections are redialled with backoff on
+// the next send.
+//
+// Frames: u32 payload length, then the payload (a types.Marshal
+// encoding). The handshake frame carries the 8-byte party ID.
+type TCP struct {
+	self  types.PartyID
+	addrs map[types.PartyID]string
+
+	lis   net.Listener
+	inbox chan Envelope
+
+	mu      sync.Mutex
+	conns   map[types.PartyID]net.Conn
+	inbound []net.Conn
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// maxFrame bounds a received frame (64 MiB).
+const maxFrame = 64 << 20
+
+// NewTCP starts a TCP endpoint: it listens on addrs[self] immediately
+// and dials peers on demand.
+func NewTCP(self types.PartyID, addrs map[types.PartyID]string) (*TCP, error) {
+	lis, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	t := &TCP{
+		self:  self,
+		addrs: addrs,
+		lis:   lis,
+		inbox: make(chan Envelope, inboxSize),
+		conns: make(map[types.PartyID]net.Conn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.lis.Addr().String() }
+
+// Inbox implements Endpoint.
+func (t *TCP) Inbox() <-chan Envelope { return t.inbox }
+
+// Send implements Endpoint.
+func (t *TCP) Send(to types.PartyID, m types.Message) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	raw := types.Marshal(m)
+	if err := writeFrame(conn, raw); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	conns = append(conns, t.inbound...)
+	t.conns = map[types.PartyID]net.Conn{}
+	t.inbound = nil
+	t.mu.Unlock()
+
+	err := t.lis.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return err
+}
+
+// conn returns (or establishes) the outgoing connection to a peer.
+func (t *TCP) conn(to types.PartyID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for party %d", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d: %w", to, err)
+	}
+	// Handshake: identify ourselves.
+	var hello [8]byte
+	binary.BigEndian.PutUint64(hello[:], uint64(int64(t.self)))
+	if err := writeFrame(c, hello[:]); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("transport: handshake with %d: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCP) dropConn(to types.PartyID, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	_ = c.Close()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.inbound = append(t.inbound, c)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop consumes frames from an inbound connection.
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	hello, err := readFrame(c)
+	if err != nil || len(hello) != 8 {
+		return
+	}
+	from := types.PartyID(int64(binary.BigEndian.Uint64(hello)))
+	for {
+		raw, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		m, err := types.Unmarshal(raw)
+		if err != nil {
+			continue // corrupt frame from a possibly-corrupt peer
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- Envelope{From: from, Msg: m}:
+		default:
+			// Drop on overload; see the inproc transport's rationale.
+		}
+	}
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+var _ Endpoint = (*TCP)(nil)

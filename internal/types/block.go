@@ -1,0 +1,70 @@
+package types
+
+import (
+	"icc/internal/crypto/hash"
+)
+
+// Signature domains for the three signing roles of the protocol
+// (paper §3.4: authenticators, notarizations, finalizations sign the
+// tuples (kind, k, α, H(B)); here the kind is the signature domain).
+const (
+	DomainAuthenticator hash.Domain = "icc/sig/authenticator"
+	DomainNotarization  hash.Domain = "icc/sig/notarization"
+	DomainFinalization  hash.Domain = "icc/sig/finalization"
+)
+
+// Block is a round-k block of the block-tree: the tuple
+// (block, k, α, phash, payload) of paper §3.4 eq. (1).
+type Block struct {
+	Round      Round
+	Proposer   PartyID
+	ParentHash hash.Digest
+	Payload    []byte
+}
+
+// RootBlock returns the special genesis block `root` (paper §3.4). It is
+// its own authenticator, notarization, and finalization; the pool package
+// special-cases it.
+func RootBlock() *Block {
+	return &Block{Round: 0, Proposer: -1}
+}
+
+// Hash returns H(B), the collision-resistant identity of the block used
+// by child blocks and by every signature on the block.
+func (b *Block) Hash() hash.Digest {
+	e := NewEncoder(64 + len(b.Payload))
+	b.encode(e)
+	return hash.Sum(hash.DomainBlock, e.Bytes())
+}
+
+// IsRoot reports whether this is the genesis block.
+func (b *Block) IsRoot() bool { return b.Round == 0 }
+
+func (b *Block) encode(e *Encoder) {
+	e.U64(uint64(b.Round))
+	e.U64(uint64(int64(b.Proposer)))
+	e.Bytes32(b.ParentHash)
+	e.VarBytes(b.Payload)
+}
+
+func decodeBlock(d *Decoder) *Block {
+	b := &Block{}
+	b.Round = Round(d.U64())
+	b.Proposer = PartyID(int64(d.U64()))
+	b.ParentHash = d.Bytes32()
+	b.Payload = d.VarBytes()
+	return b
+}
+
+// SigningBytes returns the canonical byte string that authenticators,
+// notarization shares, and finalization shares sign for a given block
+// reference: the encoding of (k, α, H(B)). The artifact kind is conveyed
+// by the signature domain, so the same bytes can never verify across
+// kinds.
+func SigningBytes(round Round, proposer PartyID, blockHash hash.Digest) []byte {
+	e := NewEncoder(8 + 8 + hash.Size)
+	e.U64(uint64(round))
+	e.U64(uint64(int64(proposer)))
+	e.Bytes32(blockHash)
+	return e.Bytes()
+}

@@ -1,0 +1,452 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"icc/internal/crypto/hash"
+)
+
+// Kind discriminates wire messages and pool artifacts.
+type Kind uint8
+
+// Message kinds. Kinds 1–7 are the artifacts of ICC0 (paper §3.4);
+// 8 is a transport-level bundle; 9–10 belong to the gossip sub-layer
+// (ICC1); 11 to the erasure-coded reliable broadcast (ICC2).
+const (
+	KindBlock Kind = iota + 1
+	KindAuthenticator
+	KindNotarizationShare
+	KindNotarization
+	KindFinalizationShare
+	KindFinalization
+	KindBeaconShare
+	KindBundle
+	KindAdvert
+	KindRequest
+	KindFragment
+	KindOpaque
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBlock:
+		return "block"
+	case KindAuthenticator:
+		return "authenticator"
+	case KindNotarizationShare:
+		return "notarization-share"
+	case KindNotarization:
+		return "notarization"
+	case KindFinalizationShare:
+		return "finalization-share"
+	case KindFinalization:
+		return "finalization"
+	case KindBeaconShare:
+		return "beacon-share"
+	case KindBundle:
+		return "bundle"
+	case KindAdvert:
+		return "advert"
+	case KindRequest:
+		return "request"
+	case KindFragment:
+		return "fragment"
+	case KindOpaque:
+		return "opaque"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is any value that can travel between parties.
+type Message interface {
+	Kind() Kind
+	encodeBody(e *Encoder)
+}
+
+// BlockMsg carries a proposed block.
+type BlockMsg struct {
+	Block *Block
+}
+
+// Authenticator is (authenticator, k, α, H(B), σ): the proposer's S_auth
+// signature binding the block to its author (paper §3.4).
+type Authenticator struct {
+	Round     Round
+	Proposer  PartyID
+	BlockHash hash.Digest
+	Sig       []byte
+}
+
+// NotarizationShare is one party's S_notary signature share on
+// (notarization, k, α, H(B)).
+type NotarizationShare struct {
+	Round     Round
+	Proposer  PartyID
+	BlockHash hash.Digest
+	Signer    PartyID
+	Sig       []byte
+}
+
+// Notarization is a combined n−t quorum signature on
+// (notarization, k, α, H(B)).
+type Notarization struct {
+	Round     Round
+	Proposer  PartyID
+	BlockHash hash.Digest
+	Agg       []byte // encoded multisig.Aggregate
+}
+
+// FinalizationShare is one party's S_final signature share on
+// (finalization, k, α, H(B)).
+type FinalizationShare struct {
+	Round     Round
+	Proposer  PartyID
+	BlockHash hash.Digest
+	Signer    PartyID
+	Sig       []byte
+}
+
+// Finalization is a combined n−t quorum signature on
+// (finalization, k, α, H(B)).
+type Finalization struct {
+	Round     Round
+	Proposer  PartyID
+	BlockHash hash.Digest
+	Agg       []byte
+}
+
+// BeaconShare is one party's S_beacon threshold-signature share on the
+// previous beacon value, used to derive R_k (paper §2.3).
+type BeaconShare struct {
+	Round  Round // the round whose beacon this share contributes to
+	Signer PartyID
+	Share  []byte // encoded thresig.SigShare
+}
+
+// Bundle groups several messages into one transmission, as when a party
+// broadcasts "B, B's authenticator, and the notarization for B's parent"
+// in one step (paper Fig. 1).
+type Bundle struct {
+	Messages []Message
+}
+
+// Ref identifies an artifact by kind and content hash; the gossip
+// sub-layer adverts and requests artifacts by Ref.
+type Ref struct {
+	Kind Kind
+	ID   hash.Digest
+}
+
+// Advert announces artifact availability to a peer (gossip push phase).
+type Advert struct {
+	Refs []Ref
+}
+
+// Request asks a peer for the bodies of advertised artifacts
+// (gossip pull phase).
+type Request struct {
+	Refs []Ref
+}
+
+// Opaque carries a foreign protocol's message through the same
+// transports and simulators as ICC traffic. The baseline protocols
+// (HotStuff, Tendermint) define their own encodings inside Data; Tag
+// discriminates message types within the foreign protocol.
+type Opaque struct {
+	Tag  uint8
+	Data []byte
+}
+
+// Fragment is one erasure-coded chunk of a disseminated block (ICC2's
+// reliable-broadcast subprotocol). Root is the Merkle root over all n
+// fragments; Proof is the inclusion path for Index. Echo distinguishes
+// the disseminator's initial send from a receiver's echo.
+type Fragment struct {
+	Round      Round
+	Proposer   PartyID // proposer of the block being disseminated
+	Root       hash.Digest
+	BlockLen   uint32 // length of the encoded block (for unpadding)
+	DataShards uint16 // shards needed to reconstruct (n − 2t)
+	Index      uint16 // shard index in [0, n)
+	Sender     PartyID
+	Echo       bool
+	Data       []byte
+	Proof      []hash.Digest
+}
+
+// Kind implementations.
+func (*BlockMsg) Kind() Kind          { return KindBlock }
+func (*Authenticator) Kind() Kind     { return KindAuthenticator }
+func (*NotarizationShare) Kind() Kind { return KindNotarizationShare }
+func (*Notarization) Kind() Kind      { return KindNotarization }
+func (*FinalizationShare) Kind() Kind { return KindFinalizationShare }
+func (*Finalization) Kind() Kind      { return KindFinalization }
+func (*BeaconShare) Kind() Kind       { return KindBeaconShare }
+func (*Bundle) Kind() Kind            { return KindBundle }
+func (*Advert) Kind() Kind            { return KindAdvert }
+func (*Request) Kind() Kind           { return KindRequest }
+func (*Fragment) Kind() Kind          { return KindFragment }
+func (*Opaque) Kind() Kind            { return KindOpaque }
+
+// Compile-time interface checks.
+var (
+	_ Message = (*BlockMsg)(nil)
+	_ Message = (*Authenticator)(nil)
+	_ Message = (*NotarizationShare)(nil)
+	_ Message = (*Notarization)(nil)
+	_ Message = (*FinalizationShare)(nil)
+	_ Message = (*Finalization)(nil)
+	_ Message = (*BeaconShare)(nil)
+	_ Message = (*Bundle)(nil)
+	_ Message = (*Advert)(nil)
+	_ Message = (*Request)(nil)
+	_ Message = (*Fragment)(nil)
+	_ Message = (*Opaque)(nil)
+)
+
+func (m *BlockMsg) encodeBody(e *Encoder) { m.Block.encode(e) }
+
+func (m *Authenticator) encodeBody(e *Encoder) {
+	e.U64(uint64(m.Round))
+	e.U64(uint64(int64(m.Proposer)))
+	e.Bytes32(m.BlockHash)
+	e.VarBytes(m.Sig)
+}
+
+func encodeShare(e *Encoder, round Round, proposer PartyID, blockHash hash.Digest, signer PartyID, sg []byte) {
+	e.U64(uint64(round))
+	e.U64(uint64(int64(proposer)))
+	e.Bytes32(blockHash)
+	e.U64(uint64(int64(signer)))
+	e.VarBytes(sg)
+}
+
+func (m *NotarizationShare) encodeBody(e *Encoder) {
+	encodeShare(e, m.Round, m.Proposer, m.BlockHash, m.Signer, m.Sig)
+}
+
+func (m *FinalizationShare) encodeBody(e *Encoder) {
+	encodeShare(e, m.Round, m.Proposer, m.BlockHash, m.Signer, m.Sig)
+}
+
+func encodeQuorum(e *Encoder, round Round, proposer PartyID, blockHash hash.Digest, agg []byte) {
+	e.U64(uint64(round))
+	e.U64(uint64(int64(proposer)))
+	e.Bytes32(blockHash)
+	e.VarBytes(agg)
+}
+
+func (m *Notarization) encodeBody(e *Encoder) {
+	encodeQuorum(e, m.Round, m.Proposer, m.BlockHash, m.Agg)
+}
+
+func (m *Finalization) encodeBody(e *Encoder) {
+	encodeQuorum(e, m.Round, m.Proposer, m.BlockHash, m.Agg)
+}
+
+func (m *BeaconShare) encodeBody(e *Encoder) {
+	e.U64(uint64(m.Round))
+	e.U64(uint64(int64(m.Signer)))
+	e.VarBytes(m.Share)
+}
+
+func (m *Bundle) encodeBody(e *Encoder) {
+	e.U16(uint16(len(m.Messages)))
+	for _, sub := range m.Messages {
+		e.VarBytes(Marshal(sub))
+	}
+}
+
+func encodeRefs(e *Encoder, refs []Ref) {
+	e.U16(uint16(len(refs)))
+	for _, r := range refs {
+		e.U8(uint8(r.Kind))
+		e.Bytes32(r.ID)
+	}
+}
+
+func decodeRefs(d *Decoder) []Ref {
+	n := int(d.U16())
+	if d.Err() != nil {
+		return nil
+	}
+	refs := make([]Ref, 0, n)
+	for i := 0; i < n; i++ {
+		k := Kind(d.U8())
+		id := d.Bytes32()
+		refs = append(refs, Ref{Kind: k, ID: id})
+	}
+	return refs
+}
+
+func (m *Advert) encodeBody(e *Encoder)  { encodeRefs(e, m.Refs) }
+func (m *Request) encodeBody(e *Encoder) { encodeRefs(e, m.Refs) }
+
+func (m *Fragment) encodeBody(e *Encoder) {
+	e.U64(uint64(m.Round))
+	e.U64(uint64(int64(m.Proposer)))
+	e.Bytes32(m.Root)
+	e.U32(m.BlockLen)
+	e.U16(m.DataShards)
+	e.U16(m.Index)
+	e.U64(uint64(int64(m.Sender)))
+	if m.Echo {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.VarBytes(m.Data)
+	e.U16(uint16(len(m.Proof)))
+	for _, p := range m.Proof {
+		e.Bytes32(p)
+	}
+}
+
+func (m *Opaque) encodeBody(e *Encoder) {
+	e.U8(m.Tag)
+	e.VarBytes(m.Data)
+}
+
+// ErrUnknownKind is returned when decoding an unrecognised message kind.
+var ErrUnknownKind = errors.New("types: unknown message kind")
+
+// Marshal encodes a message with a one-byte kind prefix.
+func Marshal(m Message) []byte {
+	e := NewEncoder(128)
+	e.U8(uint8(m.Kind()))
+	m.encodeBody(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	d := NewDecoder(b)
+	k := Kind(d.U8())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	m, err := decodeBody(k, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeBody(k Kind, d *Decoder) (Message, error) {
+	var m Message
+	switch k {
+	case KindBlock:
+		m = &BlockMsg{Block: decodeBlock(d)}
+	case KindAuthenticator:
+		a := &Authenticator{}
+		a.Round = Round(d.U64())
+		a.Proposer = PartyID(int64(d.U64()))
+		a.BlockHash = d.Bytes32()
+		a.Sig = d.VarBytes()
+		m = a
+	case KindNotarizationShare:
+		s := &NotarizationShare{}
+		s.Round, s.Proposer, s.BlockHash, s.Signer, s.Sig = decodeShare(d)
+		m = s
+	case KindFinalizationShare:
+		s := &FinalizationShare{}
+		s.Round, s.Proposer, s.BlockHash, s.Signer, s.Sig = decodeShare(d)
+		m = s
+	case KindNotarization:
+		q := &Notarization{}
+		q.Round, q.Proposer, q.BlockHash, q.Agg = decodeQuorum(d)
+		m = q
+	case KindFinalization:
+		q := &Finalization{}
+		q.Round, q.Proposer, q.BlockHash, q.Agg = decodeQuorum(d)
+		m = q
+	case KindBeaconShare:
+		s := &BeaconShare{}
+		s.Round = Round(d.U64())
+		s.Signer = PartyID(int64(d.U64()))
+		s.Share = d.VarBytes()
+		m = s
+	case KindBundle:
+		count := int(d.U16())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		bundle := &Bundle{Messages: make([]Message, 0, count)}
+		for i := 0; i < count; i++ {
+			raw := d.VarBytes()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			sub, err := Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bundle element %d: %w", i, err)
+			}
+			bundle.Messages = append(bundle.Messages, sub)
+		}
+		m = bundle
+	case KindAdvert:
+		m = &Advert{Refs: decodeRefs(d)}
+	case KindRequest:
+		m = &Request{Refs: decodeRefs(d)}
+	case KindFragment:
+		f := &Fragment{}
+		f.Round = Round(d.U64())
+		f.Proposer = PartyID(int64(d.U64()))
+		f.Root = d.Bytes32()
+		f.BlockLen = d.U32()
+		f.DataShards = d.U16()
+		f.Index = d.U16()
+		f.Sender = PartyID(int64(d.U64()))
+		f.Echo = d.U8() == 1
+		f.Data = d.VarBytes()
+		proofLen := int(d.U16())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		f.Proof = make([]hash.Digest, 0, proofLen)
+		for i := 0; i < proofLen; i++ {
+			f.Proof = append(f.Proof, d.Bytes32())
+		}
+		m = f
+	case KindOpaque:
+		o := &Opaque{}
+		o.Tag = d.U8()
+		o.Data = d.VarBytes()
+		m = o
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return m, nil
+}
+
+func decodeShare(d *Decoder) (Round, PartyID, hash.Digest, PartyID, []byte) {
+	round := Round(d.U64())
+	proposer := PartyID(int64(d.U64()))
+	blockHash := d.Bytes32()
+	signer := PartyID(int64(d.U64()))
+	sg := d.VarBytes()
+	return round, proposer, blockHash, signer, sg
+}
+
+func decodeQuorum(d *Decoder) (Round, PartyID, hash.Digest, []byte) {
+	round := Round(d.U64())
+	proposer := PartyID(int64(d.U64()))
+	blockHash := d.Bytes32()
+	agg := d.VarBytes()
+	return round, proposer, blockHash, agg
+}
+
+// RefOf computes the gossip Ref of a message: its kind plus the hash of
+// its canonical encoding.
+func RefOf(m Message) Ref {
+	return Ref{Kind: m.Kind(), ID: hash.Sum(hash.DomainPayload, Marshal(m))}
+}
