@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test verify verify2 race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify: the invariant every PR must keep green.
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+# Race-test the concurrency-heavy layers (real goroutines + sockets).
+race:
+	$(GO) test -race ./internal/transport/... ./internal/runtime/... ./internal/simnet/...
+
+# Tier-2 verify: static analysis plus race detection on the layers where
+# goroutines, channels, and sockets actually interleave.
+verify2: vet race

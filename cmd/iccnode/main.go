@@ -27,6 +27,7 @@ import (
 	"icc/internal/clock"
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
+	"icc/internal/metrics"
 	"icc/internal/runtime"
 	"icc/internal/statemachine"
 	"icc/internal/transport"
@@ -42,15 +43,37 @@ func main() {
 		epsilon = flag.Duration("epsilon", 500*time.Millisecond, "ε governor (block-rate limiter)")
 		load    = flag.Int("load", 10, "synthetic commands submitted per second (0 = none)")
 		quiet   = flag.Bool("quiet", false, "suppress per-block output")
+
+		// Chaos flags: wrap the transport in a fault-injection layer, for
+		// exercising a live cluster's robustness from the command line.
+		chaosDrop  = flag.Float64("chaos-drop", 0, "probability of dropping an outbound message")
+		chaosDup   = flag.Float64("chaos-dup", 0, "probability of duplicating an outbound message")
+		chaosDelay = flag.Float64("chaos-delay", 0, "probability of delaying an outbound message")
+		chaosMax   = flag.Duration("chaos-max-delay", 50*time.Millisecond, "upper bound for injected delays")
+		chaosUntil = flag.Duration("chaos-until", 0, "confine chaos to the first duration of the run (0 = forever)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
-	if err := run(*keyDir, *self, *peers, *bound, *epsilon, *load, *quiet); err != nil {
+	plan := transport.FaultPlan{
+		Seed:        *chaosSeed,
+		DropRate:    *chaosDrop,
+		DupRate:     *chaosDup,
+		DelayRate:   *chaosDelay,
+		MaxDelay:    *chaosMax,
+		FaultsUntil: *chaosUntil,
+	}
+	if err := run(*keyDir, *self, *peers, *bound, *epsilon, *load, *quiet, plan); err != nil {
 		fmt.Fprintf(os.Stderr, "iccnode: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(keyDir string, self int, peerList string, bound, epsilon time.Duration, load int, quiet bool) error {
+// chaosEnabled reports whether the plan injects any fault at all.
+func chaosEnabled(p transport.FaultPlan) bool {
+	return p.DropRate > 0 || p.DupRate > 0 || p.DelayRate > 0 || len(p.Partitions) > 0
+}
+
+func run(keyDir string, self int, peerList string, bound, epsilon time.Duration, load int, quiet bool, plan transport.FaultPlan) error {
 	pub := &keys.Public{}
 	if err := readJSON(filepath.Join(keyDir, "public.json"), pub); err != nil {
 		return err
@@ -71,11 +94,31 @@ func run(keyDir string, self int, peerList string, bound, epsilon time.Duration,
 		addrMap[types.PartyID(i)] = strings.TrimSpace(a)
 	}
 
-	ep, err := transport.NewTCP(types.PartyID(self), addrMap)
+	stats := metrics.NewTransportStats()
+	tcp, err := transport.NewTCPWithOptions(types.PartyID(self), addrMap, transport.TCPOptions{Stats: stats})
 	if err != nil {
 		return err
 	}
+	var ep transport.Endpoint = tcp
+	var faulty *transport.Faulty
+	if chaosEnabled(plan) {
+		faulty = transport.NewFaulty(tcp, types.PartyID(self), plan)
+		ep = faulty
+		fmt.Printf("chaos enabled: drop=%.2f dup=%.2f delay=%.2f (max %v, until %v, seed %d)\n",
+			plan.DropRate, plan.DupRate, plan.DelayRate, plan.MaxDelay, plan.FaultsUntil, plan.Seed)
+	}
 	defer ep.Close()
+
+	// Print a transport-health line on the way out, so operators can see
+	// queue evictions, redials, write failures, and inbox overflows.
+	defer func() {
+		fmt.Printf("transport health: %s\n", stats.Snapshot())
+		if faulty != nil {
+			fs := faulty.Stats()
+			fmt.Printf("chaos injected: dropped=%d duplicated=%d delayed=%d cut=%d\n",
+				fs.Dropped, fs.Duplicated, fs.Delayed, fs.Cut)
+		}
+	}()
 
 	queue := statemachine.NewQueue()
 	kv := statemachine.NewKV()
@@ -101,9 +144,10 @@ func run(keyDir string, self int, peerList string, bound, epsilon time.Duration,
 		},
 	})
 	runner := runtime.NewRunner(eng, ep, clock.NewWall(), pub.N)
+	runner.SetTransportStats(stats)
 	runner.Start()
 	defer runner.Stop()
-	fmt.Printf("party %d of %d listening on %s (t=%d tolerated faults)\n", self, pub.N, ep.Addr(), pub.T)
+	fmt.Printf("party %d of %d listening on %s (t=%d tolerated faults)\n", self, pub.N, tcp.Addr(), pub.T)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

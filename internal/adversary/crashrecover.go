@@ -1,0 +1,80 @@
+package adversary
+
+import (
+	"time"
+
+	"icc/internal/engine"
+	"icc/internal/types"
+)
+
+// CrashRecover wraps an engine so the party crashes at Down and comes
+// back at Up: in between it emits nothing and loses every message and
+// tick (its protocol state is frozen where the crash left it, as a
+// process restarted from a crash-time snapshot would be). On recovery
+// it rejoins mid-protocol and must catch up through the ordinary
+// message flow — later rounds' bundles carry the notarizations it
+// missed, and under ICC1 the gossip pull path backfills artifacts — the
+// crash/recovery leg of the paper's robustness scenario (Table 1
+// scenario 3).
+//
+// Unlike simnet.Network.Crash/Restore, which act at the network layer
+// of the simulator only, CrashRecover is an engine wrapper and runs
+// unchanged under the simulator, the in-process runtime, and TCP.
+type CrashRecover struct {
+	Inner engine.Engine
+	// Down and Up bound the outage [Down, Up) in protocol time.
+	Down, Up time.Duration
+}
+
+// NewCrashRecover wraps inner with a crash at down and recovery at up.
+func NewCrashRecover(inner engine.Engine, down, up time.Duration) *CrashRecover {
+	return &CrashRecover{Inner: inner, Down: down, Up: up}
+}
+
+// crashed reports whether the party is dark at the given time.
+func (c *CrashRecover) crashed(now time.Duration) bool {
+	return now >= c.Down && now < c.Up
+}
+
+// ID implements engine.Engine.
+func (c *CrashRecover) ID() types.PartyID { return c.Inner.ID() }
+
+// Init implements engine.Engine.
+func (c *CrashRecover) Init(now time.Duration) []engine.Output {
+	if c.crashed(now) {
+		return nil
+	}
+	return c.Inner.Init(now)
+}
+
+// HandleMessage implements engine.Engine; messages during the outage
+// are lost, not queued.
+func (c *CrashRecover) HandleMessage(from types.PartyID, m types.Message, now time.Duration) []engine.Output {
+	if c.crashed(now) {
+		return nil
+	}
+	return c.Inner.HandleMessage(from, m, now)
+}
+
+// Tick implements engine.Engine.
+func (c *CrashRecover) Tick(now time.Duration) []engine.Output {
+	if c.crashed(now) {
+		return nil
+	}
+	return c.Inner.Tick(now)
+}
+
+// NextWake implements engine.Engine. While down, the party asks to be
+// woken at recovery time so its timers re-fire and it starts catching
+// up even before any message reaches it.
+func (c *CrashRecover) NextWake(now time.Duration) (time.Duration, bool) {
+	if c.crashed(now) {
+		return c.Up, true
+	}
+	return c.Inner.NextWake(now)
+}
+
+// CurrentRound implements engine.Engine.
+func (c *CrashRecover) CurrentRound() types.Round { return c.Inner.CurrentRound() }
+
+var _ engine.Engine = (*CrashRecover)(nil)

@@ -1,0 +1,80 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"icc/internal/engine"
+	"icc/internal/types"
+)
+
+// chatty is a stub engine that answers every event with one broadcast
+// and counts how many events actually reached it.
+type chatty struct {
+	id     types.PartyID
+	events int
+}
+
+func (c *chatty) ID() types.PartyID { return c.id }
+
+func (c *chatty) out() []engine.Output {
+	c.events++
+	return []engine.Output{engine.Broadcast(&types.Advert{})}
+}
+
+func (c *chatty) Init(time.Duration) []engine.Output { return c.out() }
+
+func (c *chatty) HandleMessage(types.PartyID, types.Message, time.Duration) []engine.Output {
+	return c.out()
+}
+
+func (c *chatty) Tick(time.Duration) []engine.Output { return c.out() }
+
+func (c *chatty) NextWake(now time.Duration) (time.Duration, bool) {
+	return now + 10*time.Millisecond, true
+}
+
+func (c *chatty) CurrentRound() types.Round { return 7 }
+
+func TestCrashRecoverSuppressesOutageWindow(t *testing.T) {
+	inner := &chatty{id: 5}
+	cr := NewCrashRecover(inner, 2*time.Second, 6*time.Second)
+	if cr.ID() != 5 || cr.CurrentRound() != 7 {
+		t.Fatal("identity not forwarded")
+	}
+
+	// Before the crash: everything passes through.
+	if out := cr.Init(0); len(out) != 1 {
+		t.Fatal("pre-crash Init suppressed")
+	}
+	if out := cr.HandleMessage(0, &types.Advert{}, time.Second); len(out) != 1 {
+		t.Fatal("pre-crash message suppressed")
+	}
+	if at, ok := cr.NextWake(time.Second); !ok || at != time.Second+10*time.Millisecond {
+		t.Fatalf("pre-crash NextWake = %v, %v", at, ok)
+	}
+
+	// During [Down, Up): messages and ticks are lost, nothing is emitted,
+	// and the only wake the party asks for is its recovery time.
+	before := inner.events
+	if out := cr.HandleMessage(1, &types.Advert{}, 2*time.Second); out != nil {
+		t.Fatal("crashed party spoke on message")
+	}
+	if out := cr.Tick(4 * time.Second); out != nil {
+		t.Fatal("crashed party spoke on tick")
+	}
+	if inner.events != before {
+		t.Fatal("events leaked through to the inner engine during the outage")
+	}
+	if at, ok := cr.NextWake(3 * time.Second); !ok || at != 6*time.Second {
+		t.Fatalf("crashed NextWake = %v, %v; want recovery time", at, ok)
+	}
+
+	// From Up on: the inner engine is driven again.
+	if out := cr.Tick(6 * time.Second); len(out) != 1 {
+		t.Fatal("recovered party still silent")
+	}
+	if inner.events != before+1 {
+		t.Fatal("recovery tick did not reach the inner engine")
+	}
+}

@@ -110,6 +110,23 @@ type Config struct {
 	// PruneDepth, if positive, prunes pool and beacon state more than
 	// this many rounds behind the finalized watermark.
 	PruneDepth types.Round
+
+	// ResyncInterval bounds how long the engine tolerates a stalled
+	// round before re-broadcasting its protocol frontier (a Status plus
+	// the current round's artifacts) to every peer. The paper's protocol
+	// is quiescent — nothing is ever retransmitted — which is safe under
+	// the eventual-delivery assumption of §1 but deadlocks when the
+	// network genuinely loses messages (a TCP partition, a crashed and
+	// recovered process). 0 selects the default of 8×Δbnd; a negative
+	// value disables resynchronisation entirely (the paper's pure
+	// protocol).
+	ResyncInterval time.Duration
+
+	// ResyncBatch caps how many rounds of notarized blocks a single
+	// catch-up response carries to a lagging peer (default 128). The
+	// lagging party repeats its Status as long as it stays behind, so a
+	// deep gap is closed batch by batch.
+	ResyncBatch int
 }
 
 // withDefaults fills in derived fields.
@@ -134,6 +151,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdaptiveMax == 0 {
 		c.AdaptiveMax = 6
+	}
+	if c.ResyncInterval == 0 {
+		c.ResyncInterval = 8 * c.DeltaBound
+	}
+	if c.ResyncInterval < 0 {
+		c.ResyncInterval = 0 // normalised: 0 = disabled from here on
+	}
+	if c.ResyncBatch == 0 {
+		c.ResyncBatch = 128
 	}
 	c.adaptiveBase = c.DeltaBound
 	return c

@@ -41,6 +41,13 @@ type Engine struct {
 	lastFinal   types.Round // kmax at the last adaptation check
 	unfinalized int         // consecutive finished rounds without commit progress
 
+	// Resynchronisation state (resync.go).
+	resyncAt      time.Duration // next time a stalled round triggers a Status
+	statusSeq     uint64        // distinguishes successive Status emissions
+	finalSeen     types.Round   // highest round with a finalization in the pool
+	lastFinalHash hash.Digest   // block hash at kmax (zero until first commit)
+	backfilledAt  map[types.PartyID]time.Duration
+
 	out []engine.Output
 }
 
@@ -50,10 +57,11 @@ var _ engine.Engine = (*Engine)(nil)
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		pool:    pool.New(cfg.Keys, cfg.Self, cfg.Pool),
-		round:   1,
-		pending: make(map[types.Round]struct{}),
+		cfg:          cfg,
+		pool:         pool.New(cfg.Keys, cfg.Self, cfg.Pool),
+		round:        1,
+		pending:      make(map[types.Round]struct{}),
+		backfilledAt: make(map[types.PartyID]time.Duration),
 	}
 	e.resetRoundState()
 	return e
@@ -94,20 +102,22 @@ func (e *Engine) dntry(r types.Rank) time.Duration {
 // Init implements engine.Engine: "broadcast a share of the round-1
 // random beacon" (Fig. 1, first line).
 func (e *Engine) Init(now time.Duration) []engine.Output {
+	e.touchResync(now)
 	e.broadcastBeaconShare(1)
 	e.progress(now)
 	return e.drain()
 }
 
 // HandleMessage implements engine.Engine.
-func (e *Engine) HandleMessage(_ types.PartyID, m types.Message, now time.Duration) []engine.Output {
-	e.ingest(m)
+func (e *Engine) HandleMessage(from types.PartyID, m types.Message, now time.Duration) []engine.Output {
+	e.ingest(from, m, now)
 	e.progress(now)
 	return e.drain()
 }
 
 // Tick implements engine.Engine.
 func (e *Engine) Tick(now time.Duration) []engine.Output {
+	e.maybeResync(now)
 	e.progress(now)
 	return e.drain()
 }
@@ -127,11 +137,11 @@ func (e *Engine) emit(m types.Message) {
 // ingest routes one received message into the pool/beacon. Invalid
 // artifacts are dropped silently (the sender may be corrupt; paper §3.1
 // makes no authenticity assumption beyond the signatures themselves).
-func (e *Engine) ingest(m types.Message) {
+func (e *Engine) ingest(from types.PartyID, m types.Message, now time.Duration) {
 	switch v := m.(type) {
 	case *types.Bundle:
 		for _, sub := range v.Messages {
-			e.ingest(sub)
+			e.ingest(from, sub, now)
 		}
 	case *types.BlockMsg:
 		if v.Block == nil {
@@ -150,9 +160,13 @@ func (e *Engine) ingest(m types.Message) {
 	case *types.FinalizationShare:
 		e.pool.AddFinalizationShare(v)
 	case *types.Finalization:
-		e.pool.AddFinalization(v)
+		if e.pool.AddFinalization(v) && v.Round > e.finalSeen {
+			e.finalSeen = v.Round
+		}
 	case *types.BeaconShare:
 		_ = e.cfg.Beacon.AddShare(v)
+	case *types.Status:
+		e.handleStatus(from, v, now)
 	default:
 		// Gossip and RBC messages are handled by wrapper engines; a bare
 		// ICC0 engine ignores them.
@@ -189,7 +203,12 @@ func (e *Engine) broadcastBeaconShare(k types.Round) {
 		return // R_{k−1} unknown; caller's state machine retries later
 	}
 	_ = e.cfg.Beacon.AddShare(share)
-	e.emit(share)
+	// While replaying rounds the rest of the cluster has already
+	// finalized (catch-up after an outage), our shares for those rounds
+	// are useless to everyone else — keep them local.
+	if k > e.finalSeen {
+		e.emit(share)
+	}
 }
 
 // tryEnterRound implements the preliminary step of each round: wait for
@@ -210,6 +229,7 @@ func (e *Engine) tryEnterRound(now time.Duration) bool {
 	e.myRank = e.rankOf[e.cfg.Self]
 	e.t0 = now
 	e.inRound = true
+	e.touchResync(now)
 	if e.cfg.Hooks.OnEnterRound != nil {
 		e.cfg.Hooks.OnEnterRound(k, now)
 	}
@@ -245,8 +265,12 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 			return false
 		}
 	}
-	// Broadcast the notarization for B.
-	e.emit(e.pool.Notarization(h))
+	// Broadcast the notarization for B — unless a finalization at or
+	// past this round is already in the pool, in which case the cluster
+	// has moved on and we are merely replaying history (catch-up).
+	if k > e.finalSeen {
+		e.emit(e.pool.Notarization(h))
+	}
 	// If N ⊆ {B}, broadcast a finalization share for B.
 	if len(e.notarized) == 0 || (len(e.notarized) == 1 && e.notarized[h]) {
 		b := e.pool.Block(h)
@@ -256,7 +280,9 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 			Sig: sig.Sign(e.cfg.Priv.Final.Key, types.DomainFinalization, msg),
 		}
 		e.pool.AddFinalizationShare(fs)
-		e.emit(fs)
+		if k > e.finalSeen {
+			e.emit(fs)
+		}
 	}
 	if e.cfg.Hooks.OnFinishRound != nil {
 		e.cfg.Hooks.OnFinishRound(k, now)
@@ -264,6 +290,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 	e.adaptDelays()
 	e.round = k + 1
 	e.resetRoundState()
+	e.touchResync(now)
 	return true
 }
 
@@ -466,6 +493,9 @@ func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
 			if !e.pool.AddFinalization(fin) {
 				continue
 			}
+			if k > e.finalSeen {
+				e.finalSeen = k
+			}
 		}
 		// Broadcast the finalization and output the last k − kmax blocks
 		// of the chain ending at B.
@@ -480,6 +510,7 @@ func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
 			}
 		}
 		e.kmax = k
+		e.lastFinalHash = h
 		e.maybePrune()
 		return true
 	}
@@ -499,9 +530,6 @@ func (e *Engine) maybePrune() {
 // NextWake implements engine.Engine: the earliest future Δprop/Δntry
 // boundary that could newly enable clause (b) or (c).
 func (e *Engine) NextWake(now time.Duration) (time.Duration, bool) {
-	if !e.inRound {
-		return 0, false // waiting on messages (beacon shares) only
-	}
 	var earliest time.Duration
 	have := false
 	consider := func(t time.Duration) {
@@ -511,6 +539,19 @@ func (e *Engine) NextWake(now time.Duration) (time.Duration, bool) {
 		if !have || t < earliest {
 			earliest, have = t, true
 		}
+	}
+	if e.cfg.ResyncInterval > 0 {
+		// The resync deadline applies even outside a round: a party
+		// stuck waiting for beacon shares that were lost in transit can
+		// only recover by speaking up.
+		if e.resyncAt <= now {
+			consider(now + 1)
+		} else {
+			consider(e.resyncAt)
+		}
+	}
+	if !e.inRound {
+		return earliest, have // otherwise waiting on messages only
 	}
 	if !e.proposed {
 		consider(e.t0 + e.dprop(e.myRank))

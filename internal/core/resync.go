@@ -1,0 +1,171 @@
+package core
+
+import (
+	"time"
+
+	"icc/internal/crypto/hash"
+	"icc/internal/engine"
+	"icc/internal/types"
+)
+
+// Resynchronisation layer. The ICC protocol as written is quiescent:
+// every artifact is broadcast exactly once, which suffices under the
+// paper's eventual-delivery assumption (§1) but deadlocks the moment a
+// message is genuinely lost — a TCP partition black-holes frames, a
+// crashed-and-recovered process has a hole in its pool, a chaos wrapper
+// drops packets. The protocol's only built-in redundancy is one round
+// deep (a round-k proposal bundle carries the round-(k−1) notarization),
+// so any deeper loss wedges the party, and with it potentially the whole
+// cluster.
+//
+// The mechanism here restores liveness without touching safety (all
+// retransmitted artifacts carry their original signatures and re-enter
+// pools through the same verification paths):
+//
+//   - Stall detection: whenever the engine's round has not changed for
+//     ResyncInterval, it sends every peer a Status (its round and
+//     finalization frontier) bundled with the artifacts of its current
+//     round — blocks, authenticators, notarization/finalization shares,
+//     its own beacon shares, the previous round's notarized block, and
+//     its latest finalization. Two halves of a healed partition unwedge
+//     each other this way within one interval.
+//
+//   - Catch-up: a party receiving a Status from a peer that is more than
+//     one round behind answers with a batch of up to ResyncBatch rounds
+//     of notarized blocks (block + notarization + this party's own
+//     beacon share per round) plus its latest finalization. The laggard
+//     replays these through the ordinary clauses — a notarization in the
+//     pool finishes a round instantly — and repeats its Status while it
+//     remains behind, closing any gap batch by batch. Responses are
+//     rate-limited per requesting peer to one per ResyncInterval.
+//
+// Everything travels as unicast bundles rather than broadcasts so that
+// content-addressed dissemination layers (gossip's seen-set) cannot
+// deduplicate the retransmission away.
+
+// touchResync records protocol progress: the stall timer restarts.
+func (e *Engine) touchResync(now time.Duration) {
+	if e.cfg.ResyncInterval > 0 {
+		e.resyncAt = now + e.cfg.ResyncInterval
+	}
+}
+
+// maybeResync fires the stall handler when the round has been stuck for
+// a full interval.
+func (e *Engine) maybeResync(now time.Duration) {
+	if e.cfg.ResyncInterval <= 0 || now < e.resyncAt {
+		return
+	}
+	e.resyncAt = now + e.cfg.ResyncInterval
+	e.statusSeq++
+	msgs := []types.Message{&types.Status{Round: e.round, Finalized: e.kmax, Seq: e.statusSeq}}
+	// Our beacon shares for the current round and (once the round's own
+	// beacon is known) the next — the pipelined share of tryEnterRound
+	// may have been lost.
+	if sh, err := e.cfg.Beacon.ShareForRound(e.round); err == nil {
+		msgs = append(msgs, sh)
+	}
+	if e.inRound {
+		if sh, err := e.cfg.Beacon.ShareForRound(e.round + 1); err == nil {
+			msgs = append(msgs, sh)
+		}
+	}
+	// The previous round's notarized block, for peers one round behind.
+	if h, ok := e.pool.NotarizedInRound(e.round - 1); ok {
+		if b := e.pool.Block(h); b != nil {
+			msgs = append(msgs, &types.BlockMsg{Block: b})
+		}
+		if nz := e.pool.Notarization(h); nz != nil {
+			msgs = append(msgs, nz)
+		}
+	}
+	// Everything we hold for the current round.
+	for _, h := range e.pool.BlocksInRound(e.round) {
+		if b := e.pool.Block(h); b != nil {
+			msgs = append(msgs, &types.BlockMsg{Block: b})
+		}
+		if a := e.pool.Authenticator(h); a != nil {
+			msgs = append(msgs, a)
+		}
+		if nz := e.pool.Notarization(h); nz != nil {
+			msgs = append(msgs, nz)
+		}
+		for _, ns := range e.pool.NotarShareMessages(h) {
+			msgs = append(msgs, ns)
+		}
+		for _, fs := range e.pool.FinalShareMessages(h) {
+			msgs = append(msgs, fs)
+		}
+	}
+	// Our finalization frontier, so laggards learn what is settled.
+	if e.lastFinalHash != (hash.Digest{}) {
+		if f := e.pool.Finalization(e.lastFinalHash); f != nil {
+			msgs = append(msgs, f)
+		}
+	}
+	bundle := &types.Bundle{Messages: msgs}
+	for p := 0; p < e.cfg.Keys.N; p++ {
+		if pid := types.PartyID(p); pid != e.cfg.Self {
+			e.out = append(e.out, engine.Unicast(pid, bundle))
+		}
+	}
+}
+
+// handleStatus answers a lagging peer's Status with a catch-up batch.
+func (e *Engine) handleStatus(from types.PartyID, st *types.Status, now time.Duration) {
+	if e.cfg.ResyncInterval <= 0 {
+		return
+	}
+	// Peers at most one round behind are healed by ordinary traffic and
+	// by the stall bundle itself; only answer real gaps.
+	if st.Round+1 >= e.round {
+		return
+	}
+	// Rate-limit per peer: a Byzantine party repeating Status must not
+	// turn us into a bandwidth amplifier.
+	if last, ok := e.backfilledAt[from]; ok && now < last+e.cfg.ResyncInterval {
+		return
+	}
+	e.backfilledAt[from] = now
+
+	end := e.round
+	if limit := st.Round + types.Round(e.cfg.ResyncBatch); end > limit {
+		end = limit
+	}
+	var msgs []types.Message
+	for k := st.Round; k <= end; k++ {
+		// Our own beacon share for k lets the laggard accumulate the
+		// t+1 distinct shares it needs to re-enter the round (every
+		// responding peer contributes one).
+		if sh, err := e.cfg.Beacon.ShareForRound(k); err == nil {
+			msgs = append(msgs, sh)
+		}
+		if k == end {
+			break // shares only for the boundary round
+		}
+		h, ok := e.pool.NotarizedInRound(k)
+		if !ok {
+			continue // pruned or unknown; the laggard will re-ask
+		}
+		if b := e.pool.Block(h); b != nil {
+			msgs = append(msgs, &types.BlockMsg{Block: b})
+		}
+		// The authenticator makes the block admissible (IsValid requires
+		// IsAuthentic); without it the notarization is inert.
+		if a := e.pool.Authenticator(h); a != nil {
+			msgs = append(msgs, a)
+		}
+		if nz := e.pool.Notarization(h); nz != nil {
+			msgs = append(msgs, nz)
+		}
+	}
+	if e.lastFinalHash != (hash.Digest{}) {
+		if f := e.pool.Finalization(e.lastFinalHash); f != nil {
+			msgs = append(msgs, f)
+		}
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	e.out = append(e.out, engine.Unicast(from, &types.Bundle{Messages: msgs}))
+}

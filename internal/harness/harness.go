@@ -86,9 +86,22 @@ type Options struct {
 	Adaptive   bool
 	PruneDepth types.Round
 
+	// CrashRecoveries schedules engine-level crash/recovery outages:
+	// the party goes dark during [Down, Up) and must rejoin via
+	// protocol-level catch-up. Applied outside the dissemination
+	// wrapper, so the gossip/RBC layer goes dark with the engine.
+	// Unlike the Crash behaviour, these parties count as honest and the
+	// liveness helpers wait for them to commit.
+	CrashRecoveries map[types.PartyID]CrashWindow
+
 	// WrapEngine, if set, is applied to each party's outermost engine —
 	// an escape hatch for custom experiment instrumentation.
 	WrapEngine func(p types.PartyID, e engine.Engine) engine.Engine
+}
+
+// CrashWindow is one scheduled outage in protocol time.
+type CrashWindow struct {
+	Down, Up time.Duration
 }
 
 // Cluster is a ready-to-run simulated deployment.
@@ -153,6 +166,9 @@ func New(opts Options) (*Cluster, error) {
 			eng = adversary.NewEquivocator(inner, opts.N, privs[i].Auth)
 		}
 		eng = c.wrapDissemination(pid, eng)
+		if w, ok := opts.CrashRecoveries[pid]; ok {
+			eng = adversary.NewCrashRecover(eng, w.Down, w.Up)
+		}
 		if opts.WrapEngine != nil {
 			eng = opts.WrapEngine(pid, eng)
 		}

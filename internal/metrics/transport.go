@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+
+	"icc/internal/types"
+)
+
+// TransportStats tracks transport-layer health: per-peer send-queue
+// evictions, redial attempts, write failures and high-water queue
+// depths, plus endpoint-wide inbox-overflow discards and runner-observed
+// send errors. A nil *TransportStats is a valid no-op sink, so transport
+// and runtime code records unconditionally.
+type TransportStats struct {
+	mu sync.Mutex
+
+	queueDropped  map[types.PartyID]int64
+	redials       map[types.PartyID]int64
+	writeErrors   map[types.PartyID]int64
+	maxQueueDepth map[types.PartyID]int64
+
+	inboxOverflow int64
+	sendErrors    int64
+}
+
+// NewTransportStats creates an empty counter set.
+func NewTransportStats() *TransportStats {
+	return &TransportStats{
+		queueDropped:  make(map[types.PartyID]int64),
+		redials:       make(map[types.PartyID]int64),
+		writeErrors:   make(map[types.PartyID]int64),
+		maxQueueDepth: make(map[types.PartyID]int64),
+	}
+}
+
+// QueueDrop records a frame evicted from peer p's send queue (overflow
+// under the drop-oldest policy).
+func (s *TransportStats) QueueDrop(p types.PartyID) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.queueDropped[p]++
+	s.mu.Unlock()
+}
+
+// Redial records a dial attempt to peer p (the first dial counts too).
+func (s *TransportStats) Redial(p types.PartyID) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.redials[p]++
+	s.mu.Unlock()
+}
+
+// WriteError records a failed frame write to peer p.
+func (s *TransportStats) WriteError(p types.PartyID) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.writeErrors[p]++
+	s.mu.Unlock()
+}
+
+// ObserveQueueDepth records the current depth of peer p's send queue;
+// the per-peer high-water mark is retained.
+func (s *TransportStats) ObserveQueueDepth(p types.PartyID, depth int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if int64(depth) > s.maxQueueDepth[p] {
+		s.maxQueueDepth[p] = int64(depth)
+	}
+	s.mu.Unlock()
+}
+
+// InboxOverflow records a received message discarded because the
+// endpoint's inbox was full.
+func (s *TransportStats) InboxOverflow() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.inboxOverflow++
+	s.mu.Unlock()
+}
+
+// SendError records a transport send failure observed by the runner.
+func (s *TransportStats) SendError() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sendErrors++
+	s.mu.Unlock()
+}
+
+// TransportSnapshot is a point-in-time copy of the counters.
+type TransportSnapshot struct {
+	QueueDropped  map[types.PartyID]int64
+	Redials       map[types.PartyID]int64
+	WriteErrors   map[types.PartyID]int64
+	MaxQueueDepth map[types.PartyID]int64
+
+	TotalQueueDropped int64
+	TotalRedials      int64
+	TotalWriteErrors  int64
+	InboxOverflow     int64
+	SendErrors        int64
+}
+
+// Snapshot copies the counters. Safe on a nil receiver (empty snapshot).
+func (s *TransportStats) Snapshot() TransportSnapshot {
+	snap := TransportSnapshot{
+		QueueDropped:  map[types.PartyID]int64{},
+		Redials:       map[types.PartyID]int64{},
+		WriteErrors:   map[types.PartyID]int64{},
+		MaxQueueDepth: map[types.PartyID]int64{},
+	}
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p, v := range s.queueDropped {
+		snap.QueueDropped[p] = v
+		snap.TotalQueueDropped += v
+	}
+	for p, v := range s.redials {
+		snap.Redials[p] = v
+		snap.TotalRedials += v
+	}
+	for p, v := range s.writeErrors {
+		snap.WriteErrors[p] = v
+		snap.TotalWriteErrors += v
+	}
+	for p, v := range s.maxQueueDepth {
+		snap.MaxQueueDepth[p] = v
+	}
+	snap.InboxOverflow = s.inboxOverflow
+	snap.SendErrors = s.sendErrors
+	return snap
+}
+
+// String renders the snapshot as one health line.
+func (snap TransportSnapshot) String() string {
+	var maxDepth int64
+	for _, d := range snap.MaxQueueDepth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return fmt.Sprintf("queue-dropped=%d redials=%d write-errors=%d max-queue=%d inbox-overflow=%d send-errors=%d",
+		snap.TotalQueueDropped, snap.TotalRedials, snap.TotalWriteErrors,
+		maxDepth, snap.InboxOverflow, snap.SendErrors)
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransportStatsCounts(t *testing.T) {
+	s := NewTransportStats()
+	s.QueueDrop(1)
+	s.QueueDrop(1)
+	s.QueueDrop(2)
+	s.Redial(1)
+	s.WriteError(2)
+	s.ObserveQueueDepth(1, 5)
+	s.ObserveQueueDepth(1, 3) // lower than high-water: ignored
+	s.InboxOverflow()
+	s.SendError()
+	s.SendError()
+
+	snap := s.Snapshot()
+	if snap.TotalQueueDropped != 3 || snap.QueueDropped[1] != 2 || snap.QueueDropped[2] != 1 {
+		t.Fatalf("queue drops: %+v", snap.QueueDropped)
+	}
+	if snap.TotalRedials != 1 || snap.TotalWriteErrors != 1 {
+		t.Fatalf("redials=%d write-errors=%d", snap.TotalRedials, snap.TotalWriteErrors)
+	}
+	if snap.MaxQueueDepth[1] != 5 {
+		t.Fatalf("max queue depth %d, want 5", snap.MaxQueueDepth[1])
+	}
+	if snap.InboxOverflow != 1 || snap.SendErrors != 2 {
+		t.Fatalf("overflow=%d send-errors=%d", snap.InboxOverflow, snap.SendErrors)
+	}
+	line := snap.String()
+	for _, want := range []string{"queue-dropped=3", "redials=1", "write-errors=1", "max-queue=5", "inbox-overflow=1", "send-errors=2"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("health line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestTransportStatsNilIsNoOp(t *testing.T) {
+	var s *TransportStats
+	// All recording methods and Snapshot must be safe on nil.
+	s.QueueDrop(0)
+	s.Redial(0)
+	s.WriteError(0)
+	s.ObserveQueueDepth(0, 10)
+	s.InboxOverflow()
+	s.SendError()
+	snap := s.Snapshot()
+	if snap.TotalQueueDropped != 0 || snap.SendErrors != 0 {
+		t.Fatalf("nil stats produced counts: %+v", snap)
+	}
+}

@@ -321,6 +321,20 @@ func (p *Pool) NotarShares(h hash.Digest) []*multisig.Share {
 	return out
 }
 
+// NotarShareMessages returns the held notarization shares for the block
+// as re-transmittable wire messages, ordered by signer (the resync layer
+// re-broadcasts them when a round stalls).
+func (p *Pool) NotarShareMessages(h hash.Digest) []*types.NotarizationShare {
+	m := p.notarShares[h]
+	out := make([]*types.NotarizationShare, 0, len(m))
+	for pid := 0; pid < p.pub.N; pid++ {
+		if s, ok := m[types.PartyID(pid)]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Notarization returns the stored notarization for the block, if any.
 func (p *Pool) Notarization(h hash.Digest) *types.Notarization { return p.notarization[h] }
 
@@ -335,6 +349,19 @@ func (p *Pool) FinalShares(h hash.Digest) []*multisig.Share {
 	for pid := 0; pid < p.pub.N; pid++ {
 		if s, ok := m[types.PartyID(pid)]; ok {
 			out = append(out, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+		}
+	}
+	return out
+}
+
+// FinalShareMessages returns the held finalization shares for the block
+// as re-transmittable wire messages, ordered by signer.
+func (p *Pool) FinalShareMessages(h hash.Digest) []*types.FinalizationShare {
+	m := p.finalShares[h]
+	out := make([]*types.FinalizationShare, 0, len(m))
+	for pid := 0; pid < p.pub.N; pid++ {
+		if s, ok := m[types.PartyID(pid)]; ok {
+			out = append(out, s)
 		}
 	}
 	return out

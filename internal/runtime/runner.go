@@ -10,16 +10,18 @@ import (
 
 	"icc/internal/clock"
 	"icc/internal/engine"
+	"icc/internal/metrics"
 	"icc/internal/transport"
 	"icc/internal/types"
 )
 
 // Runner drives one engine.
 type Runner struct {
-	eng engine.Engine
-	ep  transport.Endpoint
-	clk clock.Clock
-	n   int
+	eng   engine.Engine
+	ep    transport.Endpoint
+	clk   clock.Clock
+	n     int
+	stats *metrics.TransportStats
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -36,6 +38,11 @@ func NewRunner(eng engine.Engine, ep transport.Endpoint, clk clock.Clock, n int)
 		stop: make(chan struct{}),
 	}
 }
+
+// SetTransportStats attaches transport-health counters: send failures
+// observed by the event loop are recorded there instead of vanishing.
+// Call before Start.
+func (r *Runner) SetTransportStats(s *metrics.TransportStats) { r.stats = s }
 
 // Start launches the event loop.
 func (r *Runner) Start() {
@@ -91,7 +98,10 @@ func (r *Runner) armTimer(timer *time.Timer) {
 	timer.Reset(time.Hour) // no pending wake: idle heartbeat
 }
 
-// send pushes engine outputs into the transport.
+// send pushes engine outputs into the transport. Failures are counted,
+// never fatal: recovery is protocol-level (echo, catch-up), and a
+// broadcast keeps attempting the remaining peers so one sick peer never
+// costs the healthy ones their copy.
 func (r *Runner) send(outs []engine.Output) {
 	for _, o := range outs {
 		if o.Broadcast {
@@ -100,10 +110,14 @@ func (r *Runner) send(outs []engine.Output) {
 				if pid == r.eng.ID() {
 					continue
 				}
-				_ = r.ep.Send(pid, o.Msg) // transient failures: protocol-level recovery
+				if err := r.ep.Send(pid, o.Msg); err != nil {
+					r.stats.SendError()
+				}
 			}
 			continue
 		}
-		_ = r.ep.Send(o.To, o.Msg)
+		if err := r.ep.Send(o.To, o.Msg); err != nil {
+			r.stats.SendError()
+		}
 	}
 }

@@ -1,12 +1,14 @@
 package runtime
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"icc/internal/clock"
 	"icc/internal/engine"
+	"icc/internal/metrics"
 	"icc/internal/transport"
 	"icc/internal/types"
 )
@@ -97,6 +99,73 @@ func TestRunnersExchangeMessages(t *testing.T) {
 		t.Logf("engine %d: received %d, ticks %d", i, recv, ticks)
 	}
 	t.Fatal("runners did not exchange messages and tick")
+}
+
+// failingEndpoint wraps an Endpoint, failing every send to one party.
+type failingEndpoint struct {
+	transport.Endpoint
+	failTo types.PartyID
+}
+
+func (f *failingEndpoint) Send(to types.PartyID, m types.Message) error {
+	if to == f.failTo {
+		return errors.New("injected send failure")
+	}
+	return f.Endpoint.Send(to, m)
+}
+
+// TestBroadcastContinuesPastFailingPeer is the regression test for
+// runner.send's error handling: a failed send to one peer must not stop
+// the broadcast reaching the remaining peers, and the failure must be
+// counted rather than silently swallowed.
+func TestBroadcastContinuesPastFailingPeer(t *testing.T) {
+	const n = 4
+	hub := transport.NewInproc(n)
+	defer hub.Close()
+	stats := metrics.NewTransportStats()
+	clk := clock.NewWall()
+	engines := make([]*pingEngine, n)
+	runners := make([]*Runner, n)
+	for i := 0; i < n; i++ {
+		engines[i] = &pingEngine{id: types.PartyID(i), wakeAt: time.Hour, woken: true}
+		var ep transport.Endpoint = hub.Endpoint(types.PartyID(i))
+		if i == 0 {
+			// Party 0 cannot reach party 2 at all.
+			ep = &failingEndpoint{Endpoint: ep, failTo: 2}
+		}
+		runners[i] = NewRunner(engines[i], ep, clk, n)
+		runners[i].SetTransportStats(stats)
+		runners[i].Start()
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+	// Party 0's Init broadcast must still reach parties 1 and 3; with
+	// everyone broadcasting once, party 2 receives only n-2 messages.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r1, _ := engines[1].snapshot()
+		r2, _ := engines[2].snapshot()
+		r3, _ := engines[3].snapshot()
+		if r1 == n-1 && r3 == n-1 && r2 == n-2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r1, _ := engines[1].snapshot(); r1 != n-1 {
+		t.Fatalf("party 1 received %d of %d broadcasts", r1, n-1)
+	}
+	if r3, _ := engines[3].snapshot(); r3 != n-1 {
+		t.Fatalf("party 3 received %d of %d broadcasts", r3, n-1)
+	}
+	if r2, _ := engines[2].snapshot(); r2 != n-2 {
+		t.Fatalf("party 2 received %d, want %d (only the failing link is cut)", r2, n-2)
+	}
+	if snap := stats.Snapshot(); snap.SendErrors != 1 {
+		t.Fatalf("send errors = %d, want exactly 1 (party 0's broadcast to party 2)", snap.SendErrors)
+	}
 }
 
 func TestStopIsIdempotentAndTerminates(t *testing.T) {

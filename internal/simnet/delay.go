@@ -156,6 +156,50 @@ func (a *AsyncWindows) Sample(rng *rand.Rand, from, to types.PartyID, size int) 
 	return d, true
 }
 
+// Partition holds cross-group traffic during the given windows: a
+// message sent between parties in different groups while a window is
+// open is delivered only after the window closes (plus its residual
+// network delay), mirroring AsyncWindows but keyed on group membership
+// rather than applying to all links. Messages within a group, and all
+// messages outside the windows, are unaffected. Nothing is lost — the
+// paper's eventual-delivery assumption (§1) resumes at heal time, which
+// is exactly the "network partitions, then heals" robustness scenario
+// (Table 1 scenario 3's message-adversary generalisation).
+//
+// The window test uses the send time, which the host passes via SetNow
+// before sampling.
+type Partition struct {
+	Inner   DelayModel
+	Windows []Window
+	// Group assigns each party to a partition group; unlisted parties
+	// are group 0.
+	Group map[types.PartyID]int
+
+	now time.Duration
+}
+
+// SetNow informs the model of the current simulation time.
+func (p *Partition) SetNow(t time.Duration) { p.now = t }
+
+// Sample implements DelayModel.
+func (p *Partition) Sample(rng *rand.Rand, from, to types.PartyID, size int) (time.Duration, bool) {
+	d, ok := p.Inner.Sample(rng, from, to, size)
+	if !ok {
+		return 0, false
+	}
+	if p.Group[from] != p.Group[to] {
+		for _, w := range p.Windows {
+			if p.now >= w.From && p.now < w.To {
+				// Held at the cut until the partition heals, then the
+				// residual delay applies.
+				d += w.To - p.now
+				break
+			}
+		}
+	}
+	return d, true
+}
+
 // nowAware is implemented by models that need the current time.
 type nowAware interface {
 	SetNow(time.Duration)

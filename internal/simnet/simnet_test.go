@@ -212,3 +212,54 @@ func TestAsyncWindowsInflateDelays(t *testing.T) {
 		t.Fatalf("inside window: %v", d)
 	}
 }
+
+func TestPartitionHoldsCrossGroupTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := &Partition{
+		Inner:   Fixed{D: 10 * time.Millisecond},
+		Windows: []Window{{From: 100 * time.Millisecond, To: 300 * time.Millisecond}},
+		Group:   map[types.PartyID]int{2: 1}, // {0,1} | {2}
+	}
+	p.SetNow(150 * time.Millisecond)
+	d, ok := p.Sample(rng, 0, 2, 0)
+	// Held at the cut for the remaining 150ms of the window, then the
+	// 10ms residual delay.
+	if !ok || d != 150*time.Millisecond+10*time.Millisecond {
+		t.Fatalf("cross-group delay inside window = %v, want 160ms", d)
+	}
+	d, ok = p.Sample(rng, 0, 1, 0)
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("same-group delay inside window = %v, want 10ms", d)
+	}
+	p.SetNow(400 * time.Millisecond)
+	d, ok = p.Sample(rng, 0, 2, 0)
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("cross-group delay after window = %v, want 10ms", d)
+	}
+}
+
+func TestPartitionEndToEnd(t *testing.T) {
+	// Groups {0,1} | {2} with the cut open from the very start: the Init
+	// broadcasts (sent at t=0) between groups are held until the window
+	// closes at 100ms, while intra-group traffic flows normally.
+	pm := &Partition{
+		Inner:   Fixed{D: 10 * time.Millisecond},
+		Windows: []Window{{From: 0, To: 100 * time.Millisecond}},
+		Group:   map[types.PartyID]int{2: 1},
+	}
+	nw, engines := build(t, 3, Options{Seed: 4, Delay: pm})
+	nw.Start()
+	nw.Run(50 * time.Millisecond)
+	if engines[2].received != 0 {
+		t.Fatalf("partitioned node received %d messages during the window", engines[2].received)
+	}
+	if engines[0].received != 1 || engines[1].received != 1 {
+		t.Fatalf("intra-group delivery broken: %d/%d", engines[0].received, engines[1].received)
+	}
+	nw.Run(time.Second)
+	for i, e := range engines {
+		if e.received != 2 {
+			t.Fatalf("engine %d received %d after heal, want 2 (nothing lost)", i, e.received)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icc/internal/types"
+)
+
+// faultyPair wraps party 0's endpoint of a 3-party inproc hub.
+func faultyPair(t *testing.T, plan FaultPlan) (*Faulty, Endpoint, Endpoint, *Inproc) {
+	t.Helper()
+	hub := NewInproc(3)
+	f := NewFaulty(hub.Endpoint(0), 0, plan)
+	t.Cleanup(func() {
+		_ = f.Close()
+		hub.Close()
+	})
+	return f, hub.Endpoint(1), hub.Endpoint(2), hub
+}
+
+func TestFaultyDropRateOne(t *testing.T) {
+	f, b, _, _ := faultyPair(t, FaultPlan{Seed: 1, DropRate: 1})
+	for i := 0; i < 20; i++ {
+		if err := f.Send(1, &types.Advert{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case env := <-b.Inbox():
+		t.Fatalf("drop-everything plan delivered %#v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if s := f.Stats(); s.Dropped != 20 {
+		t.Fatalf("dropped = %d, want 20", s.Dropped)
+	}
+}
+
+func TestFaultyDuplicates(t *testing.T) {
+	f, b, _, _ := faultyPair(t, FaultPlan{Seed: 1, DupRate: 1})
+	if err := f.Send(1, &types.BeaconShare{Round: 9, Signer: 0, Share: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		env := recvOne(t, b, time.Second)
+		if got := env.Msg.(*types.BeaconShare); got.Round != 9 {
+			t.Fatalf("copy %d: wrong message %#v", i, env.Msg)
+		}
+	}
+	if s := f.Stats(); s.Duplicated != 1 {
+		t.Fatalf("duplicated = %d, want 1", s.Duplicated)
+	}
+}
+
+// delaySeed finds a seed whose first delay draw (DelayRate=1, no
+// drop/dup draws) exceeds min, replicating Faulty.roll's rng sequence.
+func delaySeed(maxDelay, min time.Duration) int64 {
+	for seed := int64(1); seed < 1000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng.Float64() // the delay-rate roll
+		if time.Duration(1+rng.Int63n(int64(maxDelay))) >= min {
+			return seed
+		}
+	}
+	panic("no seed found")
+}
+
+func TestFaultyDelayReordersBehindLaterTraffic(t *testing.T) {
+	const maxDelay = 500 * time.Millisecond
+	seed := delaySeed(maxDelay, 150*time.Millisecond)
+	var offset atomic.Int64 // manual clock for the FaultsUntil window
+	f, b, _, _ := faultyPair(t, FaultPlan{
+		Seed:      seed,
+		DelayRate: 1,
+		MaxDelay:  maxDelay,
+		// Faults apply only "before" 1ms; we steer with the manual clock.
+		FaultsUntil: time.Millisecond,
+	})
+	f.now = func() time.Duration { return time.Duration(offset.Load()) }
+
+	// First message: inside the fault window, gets delayed ≥150ms.
+	if err := f.Send(1, &types.BeaconShare{Round: 1, Signer: 0, Share: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Second message: after the fault window, transmitted immediately.
+	offset.Store(int64(2 * time.Millisecond))
+	if err := f.Send(1, &types.BeaconShare{Round: 2, Signer: 0, Share: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	first := recvOne(t, b, 2*time.Second)
+	second := recvOne(t, b, 2*time.Second)
+	if first.Msg.(*types.BeaconShare).Round != 2 || second.Msg.(*types.BeaconShare).Round != 1 {
+		t.Fatalf("no reordering: got rounds %d then %d, want 2 then 1",
+			first.Msg.(*types.BeaconShare).Round, second.Msg.(*types.BeaconShare).Round)
+	}
+	if s := f.Stats(); s.Delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", s.Delayed)
+	}
+}
+
+func TestFaultyPartitionIsBidirectionalAndTimed(t *testing.T) {
+	var offset atomic.Int64
+	f, b, c, _ := faultyPair(t, FaultPlan{
+		Partitions: []PartitionWindow{{
+			From: 0, To: 50 * time.Millisecond,
+			A: []types.PartyID{0}, B: []types.PartyID{1},
+		}},
+	})
+	f.now = func() time.Duration { return time.Duration(offset.Load()) }
+
+	// Inside the window: 0→1 is cut, 0→2 is not.
+	if err := f.Send(1, &types.Advert{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(2, &types.Advert{}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, c, time.Second)
+	select {
+	case <-b.Inbox():
+		t.Fatal("message crossed the partition")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Receive side: traffic from the cut peer is black-holed even
+	// though the remote endpoint is unwrapped.
+	if err := b.Send(0, &types.BeaconShare{Round: 5, Signer: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-f.Inbox():
+		t.Fatalf("inbound message crossed the partition: %#v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if s := f.Stats(); s.Cut != 2 {
+		t.Fatalf("cut = %d, want 2 (one per direction)", s.Cut)
+	}
+
+	// After the window: both directions flow again.
+	offset.Store(int64(60 * time.Millisecond))
+	if err := f.Send(1, &types.BeaconShare{Round: 7, Signer: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b, time.Second); env.Msg.(*types.BeaconShare).Round != 7 {
+		t.Fatal("wrong post-heal message")
+	}
+	if err := b.Send(0, &types.BeaconShare{Round: 8, Signer: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, f, time.Second); env.Msg.(*types.BeaconShare).Round != 8 {
+		t.Fatal("wrong post-heal inbound message")
+	}
+}
+
+func TestFaultyDeterministicGivenSeed(t *testing.T) {
+	run := func() []types.Round {
+		hub := NewInproc(2)
+		defer hub.Close()
+		f := NewFaulty(hub.Endpoint(0), 0, FaultPlan{Seed: 42, DropRate: 0.5})
+		defer f.Close()
+		for i := 1; i <= 40; i++ {
+			if err := f.Send(1, &types.BeaconShare{Round: types.Round(i), Signer: 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []types.Round
+		inbox := hub.Endpoint(1).Inbox()
+		for {
+			select {
+			case env := <-inbox:
+				got = append(got, env.Msg.(*types.BeaconShare).Round)
+			case <-time.After(100 * time.Millisecond):
+				return got
+			}
+		}
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("drop rate 0.5 delivered %d of 40", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic fault schedule: %d vs %d deliveries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedules diverge at %d: round %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultyCloseIsIdempotentAndStopsDelayedSends(t *testing.T) {
+	hub := NewInproc(2)
+	defer hub.Close()
+	f := NewFaulty(hub.Endpoint(0), 0, FaultPlan{Seed: delaySeed(time.Second, 500*time.Millisecond), DelayRate: 1, MaxDelay: time.Second})
+	if err := f.Send(1, &types.Advert{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// The delayed send must have been cancelled by Close, and the
+	// filtered inbox must be closed.
+	select {
+	case env := <-hub.Endpoint(1).Inbox():
+		t.Fatalf("delayed send escaped Close: %#v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if _, ok := <-f.Inbox(); ok {
+		t.Fatal("filtered inbox not closed")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"icc/internal/metrics"
 	"icc/internal/types"
 )
 
@@ -42,6 +43,7 @@ type Inproc struct {
 	mu     sync.Mutex
 	boxes  []chan Envelope
 	closed bool
+	stats  *metrics.TransportStats
 }
 
 // NewInproc creates a hub for n parties.
@@ -56,6 +58,14 @@ func NewInproc(n int) *Inproc {
 // Endpoint returns party p's endpoint.
 func (h *Inproc) Endpoint(p types.PartyID) Endpoint {
 	return &inprocEndpoint{hub: h, self: p}
+}
+
+// SetStats attaches transport-health counters to the hub; inbox-overflow
+// discards are recorded there. Call before traffic starts.
+func (h *Inproc) SetStats(s *metrics.TransportStats) {
+	h.mu.Lock()
+	h.stats = s
+	h.mu.Unlock()
 }
 
 // Close shuts the hub down.
@@ -97,7 +107,8 @@ func (e *inprocEndpoint) Send(to types.PartyID, m types.Message) error {
 		// Inbox full: drop. The protocol tolerates message loss from the
 		// liveness side (retransmission comes from protocol-level echo
 		// and catch-up), and blocking here could deadlock two endpoints
-		// sending to each other.
+		// sending to each other. The discard is counted, not silent.
+		e.hub.stats.InboxOverflow()
 		return nil
 	}
 }

@@ -72,7 +72,7 @@ func tcpPair(t *testing.T) (*TCP, *TCP) {
 		t.Fatal(err)
 	}
 	// Give a the real address of b.
-	a.addrs = map[types.PartyID]string{0: a.Addr(), 1: b.Addr()}
+	a.SetPeerAddr(1, b.Addr())
 	t.Cleanup(func() {
 		_ = a.Close()
 		_ = b.Close()
@@ -186,7 +186,7 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	bAddr := b1.Addr()
-	a.addrs = map[types.PartyID]string{0: a.Addr(), 1: bAddr}
+	a.SetPeerAddr(1, bAddr)
 	if err := a.Send(1, &types.Advert{}); err != nil {
 		t.Fatal(err)
 	}
@@ -207,20 +207,29 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 		t.Fatalf("restart: %v", err)
 	}
 	defer b2.Close()
-	// First send may fail on the stale connection; the transport drops
-	// it and the retry dials fresh.
-	var sent bool
-	for i := 0; i < 20; i++ {
-		if err := a.Send(1, &types.Advert{Refs: []types.Ref{{Kind: types.KindBlock}}}); err == nil {
-			sent = true
-			break
+	// Send is a non-blocking enqueue that always succeeds; a frame
+	// written into the stale connection's kernel buffer right as it
+	// died can still be lost, so keep sending until one arrives via
+	// the background redial.
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := a.Send(1, &types.Advert{Refs: []types.Ref{{Kind: types.KindBlock}}}); err != nil {
+			t.Fatalf("send: %v", err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case env, ok := <-b2.Inbox():
+			if !ok {
+				t.Fatal("restarted inbox closed")
+			}
+			if env.From != 0 {
+				t.Fatalf("from %d", env.From)
+			}
+			return
+		case <-deadline:
+			t.Fatal("never reconnected to the restarted peer")
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
-	if !sent {
-		t.Fatal("never reconnected")
-	}
-	recvOne(t, b2, 5*time.Second)
 }
 
 func TestInprocConcurrentSenders(t *testing.T) {

@@ -26,6 +26,7 @@ const (
 	KindRequest
 	KindFragment
 	KindOpaque
+	KindStatus
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +56,8 @@ func (k Kind) String() string {
 		return "fragment"
 	case KindOpaque:
 		return "opaque"
+	case KindStatus:
+		return "status"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -160,6 +163,18 @@ type Opaque struct {
 	Data []byte
 }
 
+// Status reports a party's protocol frontier — its working round and
+// highest finalized round — for the resynchronisation layer: peers that
+// see a Status far behind their own round answer with a catch-up bundle
+// of the missing notarized blocks. Seq distinguishes successive statuses
+// from the same party (content-addressed dissemination layers would
+// otherwise deduplicate identical retransmissions).
+type Status struct {
+	Round     Round
+	Finalized Round
+	Seq       uint64
+}
+
 // Fragment is one erasure-coded chunk of a disseminated block (ICC2's
 // reliable-broadcast subprotocol). Root is the Merkle root over all n
 // fragments; Proof is the inclusion path for Index. Echo distinguishes
@@ -190,6 +205,7 @@ func (*Advert) Kind() Kind            { return KindAdvert }
 func (*Request) Kind() Kind           { return KindRequest }
 func (*Fragment) Kind() Kind          { return KindFragment }
 func (*Opaque) Kind() Kind            { return KindOpaque }
+func (*Status) Kind() Kind            { return KindStatus }
 
 // Compile-time interface checks.
 var (
@@ -205,6 +221,7 @@ var (
 	_ Message = (*Request)(nil)
 	_ Message = (*Fragment)(nil)
 	_ Message = (*Opaque)(nil)
+	_ Message = (*Status)(nil)
 )
 
 func (m *BlockMsg) encodeBody(e *Encoder) { m.Block.encode(e) }
@@ -308,6 +325,12 @@ func (m *Fragment) encodeBody(e *Encoder) {
 func (m *Opaque) encodeBody(e *Encoder) {
 	e.U8(m.Tag)
 	e.VarBytes(m.Data)
+}
+
+func (m *Status) encodeBody(e *Encoder) {
+	e.U64(uint64(m.Round))
+	e.U64(uint64(m.Finalized))
+	e.U64(m.Seq)
 }
 
 // ErrUnknownKind is returned when decoding an unrecognised message kind.
@@ -419,6 +442,12 @@ func decodeBody(k Kind, d *Decoder) (Message, error) {
 		o.Tag = d.U8()
 		o.Data = d.VarBytes()
 		m = o
+	case KindStatus:
+		s := &Status{}
+		s.Round = Round(d.U64())
+		s.Finalized = Round(d.U64())
+		s.Seq = d.U64()
+		m = s
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
