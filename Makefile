@@ -16,7 +16,7 @@ vet:
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/runtime/... ./internal/simnet/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/...
 
 # Tier-2 verify: static analysis plus race detection on the layers where
 # goroutines, channels, and sockets actually interleave.

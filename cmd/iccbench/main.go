@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -36,10 +38,25 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"fragility":      experiments.PBFTFragility,
 }
 
+// benchSummary is the machine-readable run record written by -json, so
+// the repo accumulates a bench trajectory across PRs.
+type benchSummary struct {
+	GeneratedAt string                 `json:"generated_at"`
+	Scale       float64                `json:"scale"`
+	Experiments map[string]benchResult `json:"experiments"`
+}
+
+type benchResult struct {
+	Table   *experiments.Table `json:"table"`
+	Seconds float64            `json:"seconds"`
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	scale := flag.Float64("scale", 1.0, "scale factor for simulated windows (0 < s <= 1)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	jsonOut := flag.Bool("json", false, "also write a BENCH_<timestamp>.json summary")
+	jsonDir := flag.String("json-dir", ".", "directory for the -json summary file")
 	flag.Parse()
 
 	names := make([]string, 0, len(registry))
@@ -60,10 +77,29 @@ func main() {
 		}
 		run = []string{*exp}
 	}
+	summary := benchSummary{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+		Experiments: make(map[string]benchResult, len(run)),
+	}
 	for _, name := range run {
 		start := time.Now()
 		table := registry[name](experiments.Scale(*scale))
+		elapsed := time.Since(start)
 		fmt.Println(table.String())
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
+		summary.Experiments[name] = benchResult{Table: table, Seconds: elapsed.Seconds()}
+	}
+	if *jsonOut {
+		path := filepath.Join(*jsonDir, time.Now().UTC().Format("BENCH_20060102T150405.json"))
+		raw, err := json.MarshalIndent(summary, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iccbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 }

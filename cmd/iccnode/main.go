@@ -28,6 +28,7 @@ import (
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
 	"icc/internal/metrics"
+	"icc/internal/obs"
 	"icc/internal/runtime"
 	"icc/internal/statemachine"
 	"icc/internal/transport"
@@ -44,6 +45,12 @@ func main() {
 		load    = flag.Int("load", 10, "synthetic commands submitted per second (0 = none)")
 		quiet   = flag.Bool("quiet", false, "suppress per-block output")
 
+		// Observability: one HTTP server exposing Prometheus metrics, a
+		// commit-recency health probe, the protocol event trace, and pprof.
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof on this address (empty = disabled)")
+		stallAfter  = flag.Duration("stall-after", 30*time.Second, "report unhealthy when no block committed for this long")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "protocol event ring capacity (/trace)")
+
 		// Chaos flags: wrap the transport in a fault-injection layer, for
 		// exercising a live cluster's robustness from the command line.
 		chaosDrop  = flag.Float64("chaos-drop", 0, "probability of dropping an outbound message")
@@ -54,18 +61,45 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
-	plan := transport.FaultPlan{
-		Seed:        *chaosSeed,
-		DropRate:    *chaosDrop,
-		DupRate:     *chaosDup,
-		DelayRate:   *chaosDelay,
-		MaxDelay:    *chaosMax,
-		FaultsUntil: *chaosUntil,
+	cfg := nodeConfig{
+		keyDir:      *keyDir,
+		self:        *self,
+		peers:       *peers,
+		bound:       *bound,
+		epsilon:     *epsilon,
+		load:        *load,
+		quiet:       *quiet,
+		metricsAddr: *metricsAddr,
+		stallAfter:  *stallAfter,
+		traceCap:    *traceCap,
+		plan: transport.FaultPlan{
+			Seed:        *chaosSeed,
+			DropRate:    *chaosDrop,
+			DupRate:     *chaosDup,
+			DelayRate:   *chaosDelay,
+			MaxDelay:    *chaosMax,
+			FaultsUntil: *chaosUntil,
+		},
 	}
-	if err := run(*keyDir, *self, *peers, *bound, *epsilon, *load, *quiet, plan); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "iccnode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// nodeConfig carries the parsed command line.
+type nodeConfig struct {
+	keyDir      string
+	self        int
+	peers       string
+	bound       time.Duration
+	epsilon     time.Duration
+	load        int
+	quiet       bool
+	metricsAddr string
+	stallAfter  time.Duration
+	traceCap    int
+	plan        transport.FaultPlan
 }
 
 // chaosEnabled reports whether the plan injects any fault at all.
@@ -73,19 +107,20 @@ func chaosEnabled(p transport.FaultPlan) bool {
 	return p.DropRate > 0 || p.DupRate > 0 || p.DelayRate > 0 || len(p.Partitions) > 0
 }
 
-func run(keyDir string, self int, peerList string, bound, epsilon time.Duration, load int, quiet bool, plan transport.FaultPlan) error {
+func run(cfg nodeConfig) error {
 	pub := &keys.Public{}
-	if err := readJSON(filepath.Join(keyDir, "public.json"), pub); err != nil {
+	if err := readJSON(filepath.Join(cfg.keyDir, "public.json"), pub); err != nil {
 		return err
 	}
+	self := cfg.self
 	if self < 0 || self >= pub.N {
 		return fmt.Errorf("-self %d out of range for %d-party key material", self, pub.N)
 	}
 	priv := &keys.Private{}
-	if err := readJSON(filepath.Join(keyDir, fmt.Sprintf("party%d.json", self)), priv); err != nil {
+	if err := readJSON(filepath.Join(cfg.keyDir, fmt.Sprintf("party%d.json", self)), priv); err != nil {
 		return err
 	}
-	addrs := strings.Split(peerList, ",")
+	addrs := strings.Split(cfg.peers, ",")
 	if len(addrs) != pub.N {
 		return fmt.Errorf("-peers lists %d addresses, key material has %d parties", len(addrs), pub.N)
 	}
@@ -94,13 +129,19 @@ func run(keyDir string, self int, peerList string, bound, epsilon time.Duration,
 		addrMap[types.PartyID(i)] = strings.TrimSpace(a)
 	}
 
-	stats := metrics.NewTransportStats()
+	// One registry + tracer for the whole node: engine phases, event
+	// loop, and transport all land in the same exposition.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(cfg.traceCap)
+	ob := obs.NewObserver(obs.ObserverConfig{Registry: reg, Tracer: tracer, Party: self})
+	stats := metrics.NewTransportStatsOn(reg, tracer)
 	tcp, err := transport.NewTCPWithOptions(types.PartyID(self), addrMap, transport.TCPOptions{Stats: stats})
 	if err != nil {
 		return err
 	}
 	var ep transport.Endpoint = tcp
 	var faulty *transport.Faulty
+	plan := cfg.plan
 	if chaosEnabled(plan) {
 		faulty = transport.NewFaulty(tcp, types.PartyID(self), plan)
 		ep = faulty
@@ -112,7 +153,7 @@ func run(keyDir string, self int, peerList string, bound, epsilon time.Duration,
 	// Print a transport-health line on the way out, so operators can see
 	// queue evictions, redials, write failures, and inbox overflows.
 	defer func() {
-		fmt.Printf("transport health: %s\n", stats.Snapshot())
+		fmt.Printf("transport health: %s\n", stats.Detail())
 		if faulty != nil {
 			fs := faulty.Stats()
 			fmt.Printf("chaos injected: dropped=%d duplicated=%d delayed=%d cut=%d\n",
@@ -127,33 +168,47 @@ func run(keyDir string, self int, peerList string, bound, epsilon time.Duration,
 		Self:       types.PartyID(self),
 		Keys:       pub,
 		Priv:       *priv,
-		DeltaBound: bound,
-		Epsilon:    epsilon,
+		DeltaBound: cfg.bound,
+		Epsilon:    cfg.epsilon,
 		Payload:    queue,
 		PruneDepth: 128,
-		Hooks: core.Hooks{
+		Hooks: core.ObservedHooks(ob, core.Hooks{
 			OnCommit: func(b *types.Block, now time.Duration) {
 				_ = kv.Apply(b.Payload)
 				queue.MarkCommitted(b.Payload)
 				committed++
-				if !quiet {
+				if !cfg.quiet {
 					fmt.Printf("committed round %d: %d payload bytes (proposer P%d, total %d blocks, state %s)\n",
 						b.Round, len(b.Payload), b.Proposer, committed, kv.StateHash().Short())
 				}
 			},
-		},
+		}),
 	})
 	runner := runtime.NewRunner(eng, ep, clock.NewWall(), pub.N)
 	runner.SetTransportStats(stats)
+	runner.SetObserver(ob)
 	runner.Start()
 	defer runner.Stop()
 	fmt.Printf("party %d of %d listening on %s (t=%d tolerated faults)\n", self, pub.N, tcp.Addr(), pub.T)
 
+	if cfg.metricsAddr != "" {
+		srv, err := obs.Serve(cfg.metricsAddr, obs.HandlerOptions{
+			Registry: reg,
+			Tracer:   tracer,
+			Health:   ob.HealthFunc(cfg.stallAfter),
+		})
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s (/metrics /healthz /trace /debug/pprof)\n", srv.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	if load > 0 {
-		ticker := time.NewTicker(time.Second / time.Duration(load))
+	if cfg.load > 0 {
+		ticker := time.NewTicker(time.Second / time.Duration(cfg.load))
 		defer ticker.Stop()
 		seq := uint64(0)
 		for {

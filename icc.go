@@ -20,6 +20,7 @@
 package icc
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"sync"
@@ -32,6 +33,8 @@ import (
 	"icc/internal/engine"
 	"icc/internal/gossip"
 	"icc/internal/harness"
+	"icc/internal/metrics"
+	"icc/internal/obs"
 	"icc/internal/rbc"
 	"icc/internal/runtime"
 	"icc/internal/statemachine"
@@ -98,6 +101,16 @@ type Options struct {
 	GossipFanout int
 	// MaxBatch bounds commands per block (default 1024).
 	MaxBatch int
+	// MetricsAddr, when non-empty, serves the observability endpoints
+	// (/metrics, /healthz, /trace, /debug/pprof) on this address while
+	// the cluster runs. Use ":0" for an ephemeral port and MetricsAddr()
+	// for the bound address.
+	MetricsAddr string
+	// TraceCap bounds the protocol event ring (default obs.DefaultTraceCap).
+	TraceCap int
+	// StallAfter is the /healthz stall threshold: the cluster reports
+	// unhealthy when no party has committed for this long (default 30 s).
+	StallAfter time.Duration
 }
 
 // Option mutates Options.
@@ -125,11 +138,58 @@ func WithBehavior(party int, b Behavior) Option {
 // WithGossipFanout bounds the ICC1 overlay degree.
 func WithGossipFanout(f int) Option { return func(o *Options) { o.GossipFanout = f } }
 
+// WithMaxBatch bounds the commands batched into one block proposal.
+func WithMaxBatch(n int) Option { return func(o *Options) { o.MaxBatch = n } }
+
+// WithMetricsAddr serves the observability endpoints on addr while the
+// cluster runs.
+func WithMetricsAddr(addr string) Option { return func(o *Options) { o.MetricsAddr = addr } }
+
+// WithStallAfter sets the /healthz stall threshold.
+func WithStallAfter(d time.Duration) Option { return func(o *Options) { o.StallAfter = d } }
+
+// validate rejects nonsensical option values up front, so misconfigured
+// clusters fail loudly at construction instead of hanging at runtime.
+func (o Options) validate(n int) error {
+	switch o.Mode {
+	case ICC0, ICC1, ICC2:
+	default:
+		return fmt.Errorf("icc: unknown mode %d", o.Mode)
+	}
+	if o.DeltaBound < 0 {
+		return fmt.Errorf("icc: negative DeltaBound %v", o.DeltaBound)
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("icc: negative Epsilon %v", o.Epsilon)
+	}
+	if o.MaxBatch < 0 {
+		return fmt.Errorf("icc: negative MaxBatch %d", o.MaxBatch)
+	}
+	if o.GossipFanout < 0 {
+		return fmt.Errorf("icc: negative GossipFanout %d", o.GossipFanout)
+	}
+	if o.TraceCap < 0 {
+		return fmt.Errorf("icc: negative TraceCap %d", o.TraceCap)
+	}
+	if o.StallAfter < 0 {
+		return fmt.Errorf("icc: negative StallAfter %v", o.StallAfter)
+	}
+	for p := range o.Behaviors {
+		if p < 0 || p >= n {
+			return fmt.Errorf("icc: behavior assigned to party %d, cluster has %d parties", p, n)
+		}
+	}
+	return nil
+}
+
 // LocalCluster is an n-party ICC deployment inside one process, running
 // on wall-clock time over an in-process transport, with a replicated
-// key-value store applied on top of the committed chain.
+// key-value store applied on top of the committed chain. Its live
+// behaviour is observable through Metrics(), Trace(), and — with
+// WithMetricsAddr — the HTTP endpoints every real node exposes.
 type LocalCluster struct {
 	n    int
+	opts Options
 	pub  *keys.Public
 	hub  *transport.Inproc
 	rnrs []*runtime.Runner
@@ -137,10 +197,18 @@ type LocalCluster struct {
 	queues []*statemachine.Queue
 	kvs    []*statemachine.KV
 
-	mu        sync.Mutex
-	onCommit  func(CommitEvent)
-	committed []int
-	started   bool
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	health *obs.HealthTracker
+	stats  *metrics.TransportStats
+	srv    *obs.Server
+
+	mu           sync.Mutex
+	onCommit     func(CommitEvent)
+	committed    []int
+	commitSignal chan struct{} // closed and replaced on every commit
+	started      bool
+	stopped      bool
 }
 
 // NewLocalCluster deals key material and assembles an n-party cluster.
@@ -153,21 +221,36 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 	for _, apply := range opts {
 		apply(&o)
 	}
+	if err := o.validate(n); err != nil {
+		return nil, err
+	}
 	if o.DeltaBound == 0 {
 		o.DeltaBound = 100 * time.Millisecond
+	}
+	if o.StallAfter == 0 {
+		o.StallAfter = 30 * time.Second
 	}
 	pub, privs, err := keys.Deal(rand.Reader, n)
 	if err != nil {
 		return nil, fmt.Errorf("icc: dealing keys: %w", err)
 	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(o.TraceCap)
 	c := &LocalCluster{
-		n:         n,
-		pub:       pub,
-		hub:       transport.NewInproc(n),
-		queues:    make([]*statemachine.Queue, n),
-		kvs:       make([]*statemachine.KV, n),
-		committed: make([]int, n),
+		n:            n,
+		opts:         o,
+		pub:          pub,
+		hub:          transport.NewInproc(n),
+		queues:       make([]*statemachine.Queue, n),
+		kvs:          make([]*statemachine.KV, n),
+		committed:    make([]int, n),
+		commitSignal: make(chan struct{}),
+		reg:          reg,
+		tracer:       tracer,
+		health:       obs.NewHealthTracker(),
+		stats:        metrics.NewTransportStatsOn(reg, tracer),
 	}
+	c.hub.SetStats(c.stats)
 	clk := clock.NewWall()
 	for i := 0; i < n; i++ {
 		i := i
@@ -182,6 +265,11 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			c.rnrs = append(c.rnrs, nil)
 			continue
 		}
+		// Every party reports into the shared registry/tracer: families
+		// register idempotently and counters aggregate cluster-wide.
+		ob := obs.NewObserver(obs.ObserverConfig{
+			Registry: reg, Tracer: tracer, Party: i, Health: c.health,
+		})
 		inner := core.NewEngine(core.Config{
 			Self:       types.PartyID(i),
 			Keys:       pub,
@@ -189,9 +277,9 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			DeltaBound: o.DeltaBound,
 			Epsilon:    o.Epsilon,
 			Payload:    c.queues[i],
-			Hooks: core.Hooks{
+			Hooks: core.ObservedHooks(ob, core.Hooks{
 				OnCommit: func(b *types.Block, _ time.Duration) { c.commit(i, b) },
-			},
+			}),
 		})
 		var eng engine.Engine = inner
 		switch behavior {
@@ -210,7 +298,10 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		case ICC2:
 			eng = rbc.Wrap(rbc.Config{Self: types.PartyID(i), N: n}, eng)
 		}
-		c.rnrs = append(c.rnrs, runtime.NewRunner(eng, c.hub.Endpoint(types.PartyID(i)), clk, n))
+		r := runtime.NewRunner(eng, c.hub.Endpoint(types.PartyID(i)), clk, n)
+		r.SetTransportStats(c.stats)
+		r.SetObserver(ob)
+		c.rnrs = append(c.rnrs, r)
 	}
 	return c, nil
 }
@@ -227,14 +318,18 @@ func defaultFanout(n int) int {
 	return f
 }
 
-// commit applies a committed block to party i's state machine and fires
-// the user callback.
+// commit applies a committed block to party i's state machine, wakes
+// commit waiters, and fires the user callback.
 func (c *LocalCluster) commit(i int, b *types.Block) {
 	_ = c.kvs[i].Apply(b.Payload)
 	c.queues[i].MarkCommitted(b.Payload)
 	c.mu.Lock()
 	c.committed[i]++
 	h := c.onCommit
+	// Broadcast to WaitForCommitsCtx waiters: close the current signal
+	// channel and install a fresh one.
+	close(c.commitSignal)
+	c.commitSignal = make(chan struct{})
 	c.mu.Unlock()
 	if h != nil {
 		h(CommitEvent{Party: i, Round: uint64(b.Round), Payload: b.Payload})
@@ -250,15 +345,29 @@ func (c *LocalCluster) OnCommit(h func(CommitEvent)) {
 	c.onCommit = h
 }
 
-// Start launches all parties.
+// Start launches all parties (and the observability server, when
+// configured). Idempotent; a no-op after Stop.
 func (c *LocalCluster) Start() {
 	c.mu.Lock()
-	if c.started {
+	if c.started || c.stopped {
 		c.mu.Unlock()
 		return
 	}
 	c.started = true
+	addr := c.opts.MetricsAddr
 	c.mu.Unlock()
+	if addr != "" {
+		srv, err := obs.Serve(addr, obs.HandlerOptions{
+			Registry: c.reg,
+			Tracer:   c.tracer,
+			Health:   func() obs.Health { return c.health.Health(c.opts.StallAfter) },
+		})
+		if err == nil {
+			c.mu.Lock()
+			c.srv = srv
+			c.mu.Unlock()
+		}
+	}
 	for _, r := range c.rnrs {
 		if r != nil {
 			r.Start()
@@ -266,15 +375,46 @@ func (c *LocalCluster) Start() {
 	}
 }
 
-// Stop shuts the cluster down.
+// Stop shuts the cluster down. Idempotent, and safe to call before
+// Start (the cluster then refuses to start).
 func (c *LocalCluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	srv := c.srv
+	c.srv = nil
+	c.mu.Unlock()
 	for _, r := range c.rnrs {
 		if r != nil {
 			r.Stop()
 		}
 	}
 	c.hub.Close()
+	_ = srv.Close()
 }
+
+// MetricsAddr returns the bound observability address ("" unless the
+// cluster was built WithMetricsAddr and is running).
+func (c *LocalCluster) MetricsAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srv == nil {
+		return ""
+	}
+	return c.srv.Addr()
+}
+
+// Metrics returns a point-in-time snapshot of every metric the cluster's
+// parties and transport have recorded — the same families /metrics
+// exposes in Prometheus format.
+func (c *LocalCluster) Metrics() MetricsSnapshot { return c.reg.Snapshot() }
+
+// Trace returns the retained protocol event history, oldest first: round
+// entries, proposals, shares, commits, resyncs, transport faults.
+func (c *LocalCluster) Trace() []TraceEvent { return c.tracer.Events() }
 
 // Submit hands a command to one party's pending queue; the party will
 // include it in a future block proposal. Returns false on duplicate
@@ -293,22 +433,37 @@ func (c *LocalCluster) CommittedBlocks(party int) int {
 	return c.committed[party]
 }
 
-// WaitForCommits blocks until every live party has committed at least
-// min blocks, or the timeout elapses.
-func (c *LocalCluster) WaitForCommits(min int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if c.minCommitted() >= min {
-			return true
+// WaitForCommitsCtx blocks until every live party has committed at
+// least min blocks or ctx is done, whichever comes first. It is driven
+// by commit notifications (no polling): each commit wakes it exactly
+// once to re-check the threshold.
+func (c *LocalCluster) WaitForCommitsCtx(ctx context.Context, min int) error {
+	for {
+		c.mu.Lock()
+		done := c.minCommittedLocked() >= min
+		signal := c.commitSignal
+		c.mu.Unlock()
+		if done {
+			return nil
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-signal:
+		}
 	}
-	return c.minCommitted() >= min
 }
 
-func (c *LocalCluster) minCommitted() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// WaitForCommits blocks until every live party has committed at least
+// min blocks, or the timeout elapses. A thin wrapper over
+// WaitForCommitsCtx.
+func (c *LocalCluster) WaitForCommits(min int, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitForCommitsCtx(ctx, min) == nil
+}
+
+func (c *LocalCluster) minCommittedLocked() int {
 	minC := -1
 	for i, r := range c.rnrs {
 		if r == nil {
@@ -320,6 +475,14 @@ func (c *LocalCluster) minCommitted() int {
 	}
 	return minC
 }
+
+// MetricsSnapshot is the common map view every instrumented component
+// exports: metric name (optionally "{label=\"value\"}"-suffixed) to
+// value. Histograms appear as name_count and name_sum entries.
+type MetricsSnapshot = obs.Snapshot
+
+// TraceEvent is one protocol event from the bounded trace ring.
+type TraceEvent = obs.Event
 
 // Sim re-exports the deterministic simulation harness: virtual time,
 // seeded delay models, Byzantine behaviours, and byte-accurate metrics.

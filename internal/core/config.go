@@ -55,14 +55,27 @@ type Hooks struct {
 	// OnEnterRound fires when the party computes the round's beacon and
 	// starts the round in earnest.
 	OnEnterRound func(k types.Round, now time.Duration)
+	// OnBeaconRecovered fires immediately before OnEnterRound with how
+	// long the party waited for round k's beacon to become computable
+	// (from finishing round k−1, or from Init for round 1).
+	OnBeaconRecovered func(k types.Round, waited, now time.Duration)
 	// OnPropose fires when the party broadcasts its own block proposal.
 	OnPropose func(k types.Round, now time.Duration)
+	// OnNotarizationShare fires when the party issues a notarization
+	// share for a round-k block.
+	OnNotarizationShare func(k types.Round, now time.Duration)
+	// OnFinalizationShare fires when the party issues a finalization
+	// share for a round-k block.
+	OnFinalizationShare func(k types.Round, now time.Duration)
 	// OnFinishRound fires when the party sees a notarized block for its
 	// current round and moves on.
 	OnFinishRound func(k types.Round, now time.Duration)
 	// OnCommit fires for every block the Finalization Subprotocol
 	// outputs, in chain order.
 	OnCommit func(b *types.Block, now time.Duration)
+	// OnResync fires when the stall detector re-broadcasts the party's
+	// protocol frontier (resync.go).
+	OnResync func(k types.Round, now time.Duration)
 }
 
 // Config assembles an engine.

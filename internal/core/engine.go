@@ -41,6 +41,10 @@ type Engine struct {
 	lastFinal   types.Round // kmax at the last adaptation check
 	unfinalized int         // consecutive finished rounds without commit progress
 
+	// waitSince marks when the party started waiting for the current
+	// round's beacon (instrumentation: OnBeaconRecovered timings).
+	waitSince time.Duration
+
 	// Resynchronisation state (resync.go).
 	resyncAt      time.Duration // next time a stalled round triggers a Status
 	statusSeq     uint64        // distinguishes successive Status emissions
@@ -103,6 +107,7 @@ func (e *Engine) dntry(r types.Rank) time.Duration {
 // random beacon" (Fig. 1, first line).
 func (e *Engine) Init(now time.Duration) []engine.Output {
 	e.touchResync(now)
+	e.waitSince = now
 	e.broadcastBeaconShare(1)
 	e.progress(now)
 	return e.drain()
@@ -230,6 +235,9 @@ func (e *Engine) tryEnterRound(now time.Duration) bool {
 	e.t0 = now
 	e.inRound = true
 	e.touchResync(now)
+	if e.cfg.Hooks.OnBeaconRecovered != nil {
+		e.cfg.Hooks.OnBeaconRecovered(k, now-e.waitSince, now)
+	}
 	if e.cfg.Hooks.OnEnterRound != nil {
 		e.cfg.Hooks.OnEnterRound(k, now)
 	}
@@ -283,6 +291,9 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 		if k > e.finalSeen {
 			e.emit(fs)
 		}
+		if e.cfg.Hooks.OnFinalizationShare != nil {
+			e.cfg.Hooks.OnFinalizationShare(k, now)
+		}
 	}
 	if e.cfg.Hooks.OnFinishRound != nil {
 		e.cfg.Hooks.OnFinishRound(k, now)
@@ -290,6 +301,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 	e.adaptDelays()
 	e.round = k + 1
 	e.resetRoundState()
+	e.waitSince = now
 	e.touchResync(now)
 	return true
 }
@@ -437,6 +449,9 @@ func (e *Engine) tryEchoNotarize(now time.Duration) bool {
 			}
 			e.pool.AddNotarizationShare(ns)
 			e.emit(ns)
+			if e.cfg.Hooks.OnNotarizationShare != nil {
+				e.cfg.Hooks.OnNotarizationShare(e.round, now)
+			}
 		}
 		moved = true
 	}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"time"
+
+	"icc/internal/obs"
+	"icc/internal/types"
+)
+
+// ObservedHooks returns base with every per-phase hook additionally
+// reporting into ob: round entry/notarization, proposal, share issuance,
+// beacon-recovery timing, commits, and resync triggers. base's own
+// callbacks still run (after the observer update). A nil ob returns base
+// unchanged, so callers wire observability unconditionally.
+func ObservedHooks(ob *obs.Observer, base Hooks) Hooks {
+	if ob == nil {
+		return base
+	}
+	return Hooks{
+		OnEnterRound: func(k types.Round, now time.Duration) {
+			ob.EnterRound(uint64(k), now)
+			if base.OnEnterRound != nil {
+				base.OnEnterRound(k, now)
+			}
+		},
+		OnBeaconRecovered: func(k types.Round, waited, now time.Duration) {
+			ob.BeaconRecovered(uint64(k), waited)
+			if base.OnBeaconRecovered != nil {
+				base.OnBeaconRecovered(k, waited, now)
+			}
+		},
+		OnPropose: func(k types.Round, now time.Duration) {
+			ob.Propose(uint64(k), now)
+			if base.OnPropose != nil {
+				base.OnPropose(k, now)
+			}
+		},
+		OnNotarizationShare: func(k types.Round, now time.Duration) {
+			ob.NotarizationShare(uint64(k), now)
+			if base.OnNotarizationShare != nil {
+				base.OnNotarizationShare(k, now)
+			}
+		},
+		OnFinalizationShare: func(k types.Round, now time.Duration) {
+			ob.FinalizationShare(uint64(k), now)
+			if base.OnFinalizationShare != nil {
+				base.OnFinalizationShare(k, now)
+			}
+		},
+		OnFinishRound: func(k types.Round, now time.Duration) {
+			ob.FinishRound(uint64(k), now)
+			if base.OnFinishRound != nil {
+				base.OnFinishRound(k, now)
+			}
+		},
+		OnCommit: func(b *types.Block, now time.Duration) {
+			ob.Commit(uint64(b.Round), len(b.Payload), now)
+			if base.OnCommit != nil {
+				base.OnCommit(b, now)
+			}
+		},
+		OnResync: func(k types.Round, now time.Duration) {
+			ob.Resync(uint64(k), now)
+			if base.OnResync != nil {
+				base.OnResync(k, now)
+			}
+		},
+	}
+}

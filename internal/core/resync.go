@@ -109,6 +109,9 @@ func (e *Engine) maybeResync(now time.Duration) {
 			e.out = append(e.out, engine.Unicast(pid, bundle))
 		}
 	}
+	if e.cfg.Hooks.OnResync != nil {
+		e.cfg.Hooks.OnResync(e.round, now)
+	}
 }
 
 // handleStatus answers a lagging peer's Status with a catch-up batch.

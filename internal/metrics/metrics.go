@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"icc/internal/obs"
 	"icc/internal/types"
 )
 
@@ -127,6 +128,30 @@ type Summary struct {
 	// MeanRoundTime is the mean gap between consecutive round
 	// completions — the reciprocal throughput (paper: 2δ for ICC0).
 	MeanRoundTime time.Duration
+}
+
+// Snapshot exports the run's aggregates in the common map view shared
+// with the obs registry and TransportStats, so every renderer works on
+// simulation results too.
+func (r *Recorder) Snapshot() obs.Snapshot { return r.Summarize().Snapshot() }
+
+// Snapshot flattens the summary into the common map view.
+func (s Summary) Snapshot() obs.Snapshot {
+	return obs.Snapshot{
+		"parties":                 float64(s.Parties),
+		"total_bytes":             float64(s.TotalBytes),
+		"total_msgs":              float64(s.TotalMsgs),
+		"max_party_bytes":         float64(s.MaxPartyBytes),
+		"max_party_msgs":          float64(s.MaxPartyMsgs),
+		"committed_blocks":        float64(s.CommittedBlocks),
+		"committed_bytes":         float64(s.CommittedBytes),
+		"mean_round_msgs":         s.MeanRoundMsgs,
+		"max_round_msgs":          float64(s.MaxRoundMsgs),
+		"mean_latency_seconds":    s.MeanLatency.Seconds(),
+		"p50_latency_seconds":     s.P50Latency.Seconds(),
+		"p99_latency_seconds":     s.P99Latency.Seconds(),
+		"mean_round_time_seconds": s.MeanRoundTime.Seconds(),
+	}
 }
 
 // PartyBytes returns bytes sent by party p.

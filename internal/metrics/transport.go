@@ -2,36 +2,56 @@ package metrics
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
 
+	"icc/internal/obs"
 	"icc/internal/types"
 )
 
 // TransportStats tracks transport-layer health: per-peer send-queue
 // evictions, redial attempts, write failures and high-water queue
 // depths, plus endpoint-wide inbox-overflow discards and runner-observed
-// send errors. A nil *TransportStats is a valid no-op sink, so transport
-// and runtime code records unconditionally.
+// send errors. The counters live on an obs.Registry (a private one by
+// default, or a shared node-wide registry via NewTransportStatsOn, in
+// which case they appear in the node's Prometheus exposition as the
+// icc_transport_* families). Faults are additionally traced onto an
+// optional obs.Tracer. A nil *TransportStats is a valid no-op sink, so
+// transport and runtime code records unconditionally.
 type TransportStats struct {
-	mu sync.Mutex
-
-	queueDropped  map[types.PartyID]int64
-	redials       map[types.PartyID]int64
-	writeErrors   map[types.PartyID]int64
-	maxQueueDepth map[types.PartyID]int64
-
-	inboxOverflow int64
-	sendErrors    int64
+	queueDropped  *obs.CounterVec
+	redials       *obs.CounterVec
+	writeErrors   *obs.CounterVec
+	maxQueueDepth *obs.GaugeVec
+	inboxOverflow *obs.Counter
+	sendErrors    *obs.Counter
+	tracer        *obs.Tracer
 }
 
-// NewTransportStats creates an empty counter set.
+// NewTransportStats creates a counter set on a private registry.
 func NewTransportStats() *TransportStats {
+	return NewTransportStatsOn(obs.NewRegistry(), nil)
+}
+
+// NewTransportStatsOn registers the transport families on a shared
+// registry and (optionally) traces faults onto tr. Registration is
+// idempotent, so several endpoints may share one registry and aggregate.
+func NewTransportStatsOn(reg *obs.Registry, tr *obs.Tracer) *TransportStats {
 	return &TransportStats{
-		queueDropped:  make(map[types.PartyID]int64),
-		redials:       make(map[types.PartyID]int64),
-		writeErrors:   make(map[types.PartyID]int64),
-		maxQueueDepth: make(map[types.PartyID]int64),
+		queueDropped:  reg.CounterVec("icc_transport_queue_dropped_total", "Frames evicted from a peer's send queue on overflow.", "peer"),
+		redials:       reg.CounterVec("icc_transport_redials_total", "Dial attempts per peer (the first dial counts too).", "peer"),
+		writeErrors:   reg.CounterVec("icc_transport_write_errors_total", "Failed frame writes per peer.", "peer"),
+		maxQueueDepth: reg.GaugeVec("icc_transport_max_queue_depth", "High-water send-queue depth per peer.", "peer"),
+		inboxOverflow: reg.Counter("icc_transport_inbox_overflow_total", "Received messages discarded because the inbox was full."),
+		sendErrors:    reg.Counter("icc_transport_send_errors_total", "Transport send failures observed by the runner."),
+		tracer:        tr,
 	}
+}
+
+func peerLabel(p types.PartyID) string { return strconv.Itoa(int(p)) }
+
+// fault traces one transport fault event.
+func (s *TransportStats) fault(detail string) {
+	s.tracer.Record(obs.Event{Party: -1, Kind: obs.KindTransportFault, Detail: detail})
 }
 
 // QueueDrop records a frame evicted from peer p's send queue (overflow
@@ -40,9 +60,8 @@ func (s *TransportStats) QueueDrop(p types.PartyID) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.queueDropped[p]++
-	s.mu.Unlock()
+	s.queueDropped.With(peerLabel(p)).Inc()
+	s.fault("queue_drop peer=" + peerLabel(p))
 }
 
 // Redial records a dial attempt to peer p (the first dial counts too).
@@ -50,9 +69,7 @@ func (s *TransportStats) Redial(p types.PartyID) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.redials[p]++
-	s.mu.Unlock()
+	s.redials.With(peerLabel(p)).Inc()
 }
 
 // WriteError records a failed frame write to peer p.
@@ -60,9 +77,8 @@ func (s *TransportStats) WriteError(p types.PartyID) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.writeErrors[p]++
-	s.mu.Unlock()
+	s.writeErrors.With(peerLabel(p)).Inc()
+	s.fault("write_error peer=" + peerLabel(p))
 }
 
 // ObserveQueueDepth records the current depth of peer p's send queue;
@@ -71,11 +87,7 @@ func (s *TransportStats) ObserveQueueDepth(p types.PartyID, depth int) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	if int64(depth) > s.maxQueueDepth[p] {
-		s.maxQueueDepth[p] = int64(depth)
-	}
-	s.mu.Unlock()
+	s.maxQueueDepth.With(peerLabel(p)).SetMax(float64(depth))
 }
 
 // InboxOverflow records a received message discarded because the
@@ -84,9 +96,8 @@ func (s *TransportStats) InboxOverflow() {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.inboxOverflow++
-	s.mu.Unlock()
+	s.inboxOverflow.Inc()
+	s.fault("inbox_overflow")
 }
 
 // SendError records a transport send failure observed by the runner.
@@ -94,12 +105,45 @@ func (s *TransportStats) SendError() {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.sendErrors++
-	s.mu.Unlock()
+	s.sendErrors.Inc()
+	s.fault("send_error")
 }
 
-// TransportSnapshot is a point-in-time copy of the counters.
+// Snapshot exports the common map view (the same shape Registry and
+// Recorder export): aggregate totals under short keys plus per-peer
+// series. Safe on a nil receiver (empty snapshot).
+func (s *TransportStats) Snapshot() obs.Snapshot {
+	snap := obs.Snapshot{}
+	if s == nil {
+		return snap
+	}
+	d := s.Detail()
+	snap["queue_dropped"] = float64(d.TotalQueueDropped)
+	snap["redials"] = float64(d.TotalRedials)
+	snap["write_errors"] = float64(d.TotalWriteErrors)
+	snap["inbox_overflow"] = float64(d.InboxOverflow)
+	snap["send_errors"] = float64(d.SendErrors)
+	var maxDepth int64
+	for p, v := range d.QueueDropped {
+		snap[fmt.Sprintf("queue_dropped{peer=%q}", peerLabel(p))] = float64(v)
+	}
+	for p, v := range d.Redials {
+		snap[fmt.Sprintf("redials{peer=%q}", peerLabel(p))] = float64(v)
+	}
+	for p, v := range d.WriteErrors {
+		snap[fmt.Sprintf("write_errors{peer=%q}", peerLabel(p))] = float64(v)
+	}
+	for p, v := range d.MaxQueueDepth {
+		snap[fmt.Sprintf("max_queue_depth{peer=%q}", peerLabel(p))] = float64(v)
+		if v > maxDepth {
+			maxDepth = v
+		}
+	}
+	snap["max_queue_depth"] = float64(maxDepth)
+	return snap
+}
+
+// TransportSnapshot is a structured point-in-time copy of the counters.
 type TransportSnapshot struct {
 	QueueDropped  map[types.PartyID]int64
 	Redials       map[types.PartyID]int64
@@ -113,8 +157,9 @@ type TransportSnapshot struct {
 	SendErrors        int64
 }
 
-// Snapshot copies the counters. Safe on a nil receiver (empty snapshot).
-func (s *TransportStats) Snapshot() TransportSnapshot {
+// Detail copies the counters into the structured per-peer form. Safe on
+// a nil receiver (empty snapshot).
+func (s *TransportStats) Detail() TransportSnapshot {
 	snap := TransportSnapshot{
 		QueueDropped:  map[types.PartyID]int64{},
 		Redials:       map[types.PartyID]int64{},
@@ -124,25 +169,27 @@ func (s *TransportStats) Snapshot() TransportSnapshot {
 	if s == nil {
 		return snap
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for p, v := range s.queueDropped {
-		snap.QueueDropped[p] = v
+	peerID := func(label string) types.PartyID {
+		n, _ := strconv.Atoi(label)
+		return types.PartyID(n)
+	}
+	s.queueDropped.Each(func(lvs []string, v int64) {
+		snap.QueueDropped[peerID(lvs[0])] = v
 		snap.TotalQueueDropped += v
-	}
-	for p, v := range s.redials {
-		snap.Redials[p] = v
+	})
+	s.redials.Each(func(lvs []string, v int64) {
+		snap.Redials[peerID(lvs[0])] = v
 		snap.TotalRedials += v
-	}
-	for p, v := range s.writeErrors {
-		snap.WriteErrors[p] = v
+	})
+	s.writeErrors.Each(func(lvs []string, v int64) {
+		snap.WriteErrors[peerID(lvs[0])] = v
 		snap.TotalWriteErrors += v
-	}
-	for p, v := range s.maxQueueDepth {
-		snap.MaxQueueDepth[p] = v
-	}
-	snap.InboxOverflow = s.inboxOverflow
-	snap.SendErrors = s.sendErrors
+	})
+	s.maxQueueDepth.Each(func(lvs []string, v float64) {
+		snap.MaxQueueDepth[peerID(lvs[0])] = int64(v)
+	})
+	snap.InboxOverflow = s.inboxOverflow.Value()
+	snap.SendErrors = s.sendErrors.Value()
 	return snap
 }
 

@@ -3,6 +3,8 @@ package metrics
 import (
 	"strings"
 	"testing"
+
+	"icc/internal/obs"
 )
 
 func TestTransportStatsCounts(t *testing.T) {
@@ -18,7 +20,7 @@ func TestTransportStatsCounts(t *testing.T) {
 	s.SendError()
 	s.SendError()
 
-	snap := s.Snapshot()
+	snap := s.Detail()
 	if snap.TotalQueueDropped != 3 || snap.QueueDropped[1] != 2 || snap.QueueDropped[2] != 1 {
 		t.Fatalf("queue drops: %+v", snap.QueueDropped)
 	}
@@ -39,17 +41,69 @@ func TestTransportStatsCounts(t *testing.T) {
 	}
 }
 
+func TestTransportStatsCommonSnapshot(t *testing.T) {
+	s := NewTransportStats()
+	s.QueueDrop(7)
+	s.QueueDrop(7)
+	s.Redial(1)
+	s.ObserveQueueDepth(7, 9)
+	s.SendError()
+
+	snap := s.Snapshot()
+	for key, want := range map[string]float64{
+		"queue_dropped":             2,
+		`queue_dropped{peer="7"}`:   2,
+		"redials":                   1,
+		"send_errors":               1,
+		"max_queue_depth":           9,
+		`max_queue_depth{peer="7"}`: 9,
+		"write_errors":              0,
+		"inbox_overflow":            0,
+	} {
+		if got := snap.Get(key); got != want {
+			t.Fatalf("snapshot[%s] = %v, want %v (full: %s)", key, got, want, snap)
+		}
+	}
+	if !strings.Contains(snap.String(), "queue_dropped=2") {
+		t.Fatalf("snapshot line missing total: %s", snap)
+	}
+}
+
+func TestTransportStatsOnSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(8)
+	s := NewTransportStatsOn(reg, tr)
+	s.QueueDrop(3)
+	s.WriteError(3)
+
+	regSnap := reg.Snapshot()
+	if regSnap.Get(`icc_transport_queue_dropped_total{peer="3"}`) != 1 {
+		t.Fatalf("registry missing transport counter: %s", regSnap)
+	}
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("expected 2 fault trace events, got %d", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != obs.KindTransportFault {
+			t.Fatalf("unexpected event kind %q", e.Kind)
+		}
+	}
+}
+
 func TestTransportStatsNilIsNoOp(t *testing.T) {
 	var s *TransportStats
-	// All recording methods and Snapshot must be safe on nil.
+	// All recording methods and both snapshot forms must be safe on nil.
 	s.QueueDrop(0)
 	s.Redial(0)
 	s.WriteError(0)
 	s.ObserveQueueDepth(0, 10)
 	s.InboxOverflow()
 	s.SendError()
-	snap := s.Snapshot()
-	if snap.TotalQueueDropped != 0 || snap.SendErrors != 0 {
+	if snap := s.Detail(); snap.TotalQueueDropped != 0 || snap.SendErrors != 0 {
 		t.Fatalf("nil stats produced counts: %+v", snap)
+	}
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil stats produced snapshot: %v", snap)
 	}
 }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HandlerOptions configures the observability HTTP surface.
+type HandlerOptions struct {
+	// Registry backs /metrics (Prometheus text format).
+	Registry *Registry
+	// Tracer backs /trace (JSONL ring dump).
+	Tracer *Tracer
+	// Health backs /healthz; nil serves an always-healthy probe.
+	Health func() Health
+}
+
+// NewHandler builds the endpoint map:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        JSON health (HTTP 503 when commit progress stalled)
+//	/trace          JSONL dump of the protocol event ring
+//	/debug/pprof/*  standard Go profiling endpoints
+func NewHandler(o HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var h Health
+		if o.Health != nil {
+			h = o.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.Stalled {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = o.Tracer.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability server on addr (":0" picks a free
+// port; use Addr for the bound address). The server runs until Close.
+func Serve(addr string, o HandlerOptions) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		lis: lis,
+		srv: &http.Server{Handler: NewHandler(o), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestHandler(healthy bool) http.Handler {
+	reg := NewRegistry()
+	reg.Counter("icc_blocks_committed_total", "Blocks committed.").Add(9)
+	tr := NewTracer(8)
+	tr.Record(Event{Party: 0, Kind: KindCommitted, Round: 3})
+	return NewHandler(HandlerOptions{
+		Registry: reg,
+		Tracer:   tr,
+		Health: func() Health {
+			return Health{Stalled: !healthy, Commits: 9, LastCommitAgeSeconds: 0.5, StallAfterSeconds: 30}
+		},
+	})
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	res, body := get(t, newTestHandler(true), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, "icc_blocks_committed_total 9") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	res, body := get(t, newTestHandler(true), "/healthz")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthy probe returned %d", res.StatusCode)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v (%s)", err, body)
+	}
+	if h.Stalled || h.Commits != 9 {
+		t.Fatalf("health payload: %+v", h)
+	}
+
+	res, body = get(t, newTestHandler(false), "/healthz")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stalled probe returned %d, want 503", res.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil || !h.Stalled {
+		t.Fatalf("stalled payload: %+v err=%v", h, err)
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	res, body := get(t, newTestHandler(true), "/trace")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &e); err != nil {
+		t.Fatalf("trace line not JSON: %v (%s)", err, body)
+	}
+	if e.Kind != KindCommitted || e.Round != 3 {
+		t.Fatalf("trace event: %+v", e)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	res, body := get(t, newTestHandler(true), "/debug/pprof/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index returned %d", res.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%s", body)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	h := NewHandler(HandlerOptions{}) // nil registry, tracer, health
+	for _, path := range []string{"/metrics", "/trace", "/healthz"} {
+		res, _ := get(t, h, path)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%s with nil backends returned %d", path, res.StatusCode)
+		}
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("icc_up", "").Inc()
+	srv, err := Serve("127.0.0.1:0", HandlerOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	res, err := client.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "icc_up 1") {
+		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatal("nil server close errored")
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by
+// label values, label values escaped, histograms expanded into
+// cumulative _bucket series plus _sum and _count. The ordering is fully
+// deterministic so the output is golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r == nil {
+		return bw.Flush()
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+
+		values, children := f.sortedChildren()
+		for i, c := range children {
+			switch m := c.(type) {
+			case *Counter:
+				writeSample(bw, f.name, f.labels, values[i], "", "", float64(m.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, f.labels, values[i], "", "", m.Value())
+			case *Histogram:
+				count, sum, cum := m.snapshot()
+				for bi, upper := range m.upper {
+					writeSample(bw, f.name+"_bucket", f.labels, values[i],
+						"le", formatValue(upper), float64(cum[bi]))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, values[i], "le", "+Inf", float64(cum[len(cum)-1]))
+				writeSample(bw, f.name+"_sum", f.labels, values[i], "", "", sum)
+				writeSample(bw, f.name+"_count", f.labels, values[i], "", "", float64(count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample renders one series line, optionally appending one extra
+// label (the histogram "le" bound).
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraLabel, extraValue string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraLabel)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(extraValue))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	w.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

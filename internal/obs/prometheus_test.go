@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition of a small registry:
+// families sorted by name, children sorted by label values, HELP/TYPE
+// lines, and histogram expansion with cumulative le buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("icc_commits_total", "Blocks committed.").Add(3)
+	v := r.CounterVec("icc_drops_total", "Frames dropped per peer.", "peer")
+	v.With("2").Add(5)
+	v.With("10").Inc()
+	r.Gauge("icc_round", "Current round.").Set(7)
+	h := r.Histogram("icc_lat_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP icc_commits_total Blocks committed.
+# TYPE icc_commits_total counter
+icc_commits_total 3
+# HELP icc_drops_total Frames dropped per peer.
+# TYPE icc_drops_total counter
+icc_drops_total{peer="10"} 1
+icc_drops_total{peer="2"} 5
+# HELP icc_lat_seconds Latency.
+# TYPE icc_lat_seconds histogram
+icc_lat_seconds_bucket{le="0.5"} 1
+icc_lat_seconds_bucket{le="1"} 2
+icc_lat_seconds_bucket{le="+Inf"} 3
+icc_lat_seconds_sum 3
+icc_lat_seconds_count 3
+# HELP icc_round Current round.
+# TYPE icc_round gauge
+icc_round 7
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("g", "", "a", "b")
+	v.With("x", "y").Set(1)
+	v.With("p", "q").Set(2)
+	r.Counter("z_total", "").Inc()
+	r.Counter("a_total", "").Inc()
+	var first string
+	for i := 0; i < 5; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, b.String())
+		}
+	}
+	if !strings.Contains(first, `g{a="p",b="q"} 2`) {
+		t.Fatalf("multi-label series missing:\n%s", first)
+	}
+	if strings.Index(first, "a_total 1") > strings.Index(first, "z_total 1") {
+		t.Fatalf("families not sorted by name:\n%s", first)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", `tricky "help" with \slash`+"\nand newline", "l").
+		With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total tricky "help" with \\slash\nand newline`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{l="a\\b\"c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "\nd\"}") {
+		t.Fatalf("raw newline leaked into a label value:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("nil registry produced output: %q", b.String())
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the protocol tracer.
+const (
+	KindRoundEntered   = "round_entered"
+	KindProposed       = "proposed"
+	KindNotarShare     = "notarization_share"
+	KindFinalShare     = "finalization_share"
+	KindRoundNotarized = "round_notarized"
+	KindCommitted      = "committed"
+	KindResync         = "resync"
+	KindTransportFault = "transport_fault"
+)
+
+// Event is one traced protocol occurrence.
+type Event struct {
+	// Wall is the wall-clock time the event was recorded.
+	Wall time.Time `json:"wall"`
+	// Party is the recording party (-1 when unknown/not applicable).
+	Party int `json:"party"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Round is the protocol round, when the event has one.
+	Round uint64 `json:"round,omitempty"`
+	// Detail carries kind-specific context (fault class, peer, timing).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of protocol events. When full, the
+// oldest events are overwritten — recent history is what debugging a
+// live stall needs, and the bound keeps a long-running node's memory
+// flat. A nil *Tracer is a valid no-op sink. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // write cursor
+	wrap  bool   // buffer has wrapped at least once
+	total uint64 // events ever recorded, including overwritten ones
+}
+
+// DefaultTraceCap is the ring capacity used when callers pass 0.
+const DefaultTraceCap = 4096
+
+// NewTracer creates a tracer holding up to capacity events (0 selects
+// DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, stamping Wall if unset. Safe on nil.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if e.Wall.IsZero() {
+		e.Wall = time.Now()
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.wrap = true
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.wrap {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including those the
+// ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteJSONL dumps the retained events as one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Party: i, Kind: KindRoundEntered, Round: uint64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// Oldest-first: rounds 6..9 survive.
+	for i, e := range events {
+		if e.Round != uint64(6+i) {
+			t.Fatalf("events[%d].Round = %d, want %d (all: %+v)", i, e.Round, 6+i, events)
+		}
+	}
+}
+
+func TestTracerStampsWallClock(t *testing.T) {
+	tr := NewTracer(2)
+	before := time.Now()
+	tr.Record(Event{Kind: KindCommitted})
+	e := tr.Events()[0]
+	if e.Wall.Before(before) || e.Wall.After(time.Now()) {
+		t.Fatalf("wall %v not stamped at record time", e.Wall)
+	}
+	explicit := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr.Record(Event{Kind: KindCommitted, Wall: explicit})
+	if got := tr.Events()[1].Wall; !got.Equal(explicit) {
+		t.Fatalf("explicit wall clobbered: %v", got)
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Party: 1, Kind: KindCommitted, Round: 5, Detail: "64 payload bytes"})
+	tr.Record(Event{Party: -1, Kind: KindTransportFault, Detail: "send_error"})
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2: %q", len(lines), b.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if e.Party != 1 || e.Kind != KindCommitted || e.Round != 5 || e.Detail != "64 payload bytes" {
+		t.Fatalf("round-tripped event wrong: %+v", e)
+	}
+	// Round omitted when zero.
+	if strings.Contains(lines[1], `"round"`) {
+		t.Fatalf("zero round serialised: %s", lines[1])
+	}
+}
+
+func TestTracerNilIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: KindResync})
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer retained events")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("nil tracer wrote output: %q", b.String())
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	if cap(tr.buf) != DefaultTraceCap {
+		t.Fatalf("capacity = %d, want %d", cap(tr.buf), DefaultTraceCap)
+	}
+}

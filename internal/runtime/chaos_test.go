@@ -183,7 +183,7 @@ func TestTCPClusterSurvivesStoppedPeer(t *testing.T) {
 
 	// The survivors' queues to the dead peer saw redials and drops, not
 	// stalls: they kept committing, which the wait above already proved.
-	snap := c.stats[0].Snapshot()
+	snap := c.stats[0].Detail()
 	if snap.SendErrors > 0 {
 		// Sends to a dead TCP peer enqueue fine (the writer redials
 		// forever); errors would mean the endpoint rejected messages.

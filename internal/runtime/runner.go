@@ -11,6 +11,7 @@ import (
 	"icc/internal/clock"
 	"icc/internal/engine"
 	"icc/internal/metrics"
+	"icc/internal/obs"
 	"icc/internal/transport"
 	"icc/internal/types"
 )
@@ -22,6 +23,7 @@ type Runner struct {
 	clk   clock.Clock
 	n     int
 	stats *metrics.TransportStats
+	obs   *obs.Observer
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -43,6 +45,11 @@ func NewRunner(eng engine.Engine, ep transport.Endpoint, clk clock.Clock, n int)
 // observed by the event loop are recorded there instead of vanishing.
 // Call before Start.
 func (r *Runner) SetTransportStats(s *metrics.TransportStats) { r.stats = s }
+
+// SetObserver attaches an event-loop observer: messages and ticks
+// delivered to the engine are counted on its registry. Call before
+// Start. A nil observer is a no-op.
+func (r *Runner) SetObserver(ob *obs.Observer) { r.obs = ob }
 
 // Start launches the event loop.
 func (r *Runner) Start() {
@@ -71,8 +78,10 @@ func (r *Runner) loop() {
 			if !ok {
 				return
 			}
+			r.obs.MessageReceived()
 			r.send(r.eng.HandleMessage(env.From, env.Msg, r.clk.Now()))
 		case <-timer.C:
+			r.obs.TickFired()
 			r.send(r.eng.Tick(r.clk.Now()))
 		}
 	}

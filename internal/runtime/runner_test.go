@@ -163,7 +163,7 @@ func TestBroadcastContinuesPastFailingPeer(t *testing.T) {
 	if r2, _ := engines[2].snapshot(); r2 != n-2 {
 		t.Fatalf("party 2 received %d, want %d (only the failing link is cut)", r2, n-2)
 	}
-	if snap := stats.Snapshot(); snap.SendErrors != 1 {
+	if snap := stats.Detail(); snap.SendErrors != 1 {
 		t.Fatalf("send errors = %d, want exactly 1 (party 0's broadcast to party 2)", snap.SendErrors)
 	}
 }

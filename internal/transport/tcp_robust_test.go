@@ -66,7 +66,7 @@ func TestSlowReaderDoesNotBlockOtherPeers(t *testing.T) {
 	if enqueueTime := time.Since(start); enqueueTime > 2*time.Second {
 		t.Fatalf("enqueueing took %v; Send is blocking on the slow peer", enqueueTime)
 	}
-	if snap := stats.Snapshot(); snap.QueueDropped[2] == 0 {
+	if snap := stats.Detail(); snap.QueueDropped[2] == 0 {
 		t.Fatalf("expected drop-oldest evictions for the wedged peer, stats: %v", snap)
 	}
 
@@ -251,7 +251,7 @@ func TestInprocInboxOverflowCounted(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if snap := stats.Snapshot(); snap.InboxOverflow != extra {
+	if snap := stats.Detail(); snap.InboxOverflow != extra {
 		t.Fatalf("inbox overflow count = %d, want %d", snap.InboxOverflow, extra)
 	}
 }
