@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify2 race vet
+.PHONY: build test verify verify2 race vet bench
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,12 @@ vet:
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/...
+
+# Regenerate the evaluation tables and record a machine-readable
+# BENCH_<timestamp>.json snapshot in the repo root.
+bench:
+	$(GO) run ./cmd/iccbench -json
 
 # Tier-2 verify: static analysis plus race detection on the layers where
 # goroutines, channels, and sockets actually interleave.

@@ -36,6 +36,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"ablation":       experiments.AblationDelays,
 	"weakadaptive":   experiments.WeakAdaptiveAdversary,
 	"fragility":      experiments.PBFTFragility,
+	"verifypipeline": experiments.VerifyPipeline,
 }
 
 // benchSummary is the machine-readable run record written by -json, so

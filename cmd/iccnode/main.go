@@ -29,10 +29,12 @@ import (
 	"icc/internal/crypto/keys"
 	"icc/internal/metrics"
 	"icc/internal/obs"
+	"icc/internal/pool"
 	"icc/internal/runtime"
 	"icc/internal/statemachine"
 	"icc/internal/transport"
 	"icc/internal/types"
+	"icc/internal/verify"
 )
 
 func main() {
@@ -44,6 +46,11 @@ func main() {
 		epsilon = flag.Duration("epsilon", 500*time.Millisecond, "ε governor (block-rate limiter)")
 		load    = flag.Int("load", 10, "synthetic commands submitted per second (0 = none)")
 		quiet   = flag.Bool("quiet", false, "suppress per-block output")
+
+		// Verification pipeline: inbound signatures are checked on a
+		// worker pool so the sequential engine handles pre-verified input.
+		verifyWorkers = flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS, negative = verify inline on the engine loop)")
+		verifyCache   = flag.Int("verify-cache", 0, "verified-digest cache capacity (0 = default 8192, negative = disabled)")
 
 		// Observability: one HTTP server exposing Prometheus metrics, a
 		// commit-recency health probe, the protocol event trace, and pprof.
@@ -62,16 +69,18 @@ func main() {
 	)
 	flag.Parse()
 	cfg := nodeConfig{
-		keyDir:      *keyDir,
-		self:        *self,
-		peers:       *peers,
-		bound:       *bound,
-		epsilon:     *epsilon,
-		load:        *load,
-		quiet:       *quiet,
-		metricsAddr: *metricsAddr,
-		stallAfter:  *stallAfter,
-		traceCap:    *traceCap,
+		keyDir:        *keyDir,
+		self:          *self,
+		peers:         *peers,
+		bound:         *bound,
+		epsilon:       *epsilon,
+		load:          *load,
+		quiet:         *quiet,
+		metricsAddr:   *metricsAddr,
+		stallAfter:    *stallAfter,
+		traceCap:      *traceCap,
+		verifyWorkers: *verifyWorkers,
+		verifyCache:   *verifyCache,
 		plan: transport.FaultPlan{
 			Seed:        *chaosSeed,
 			DropRate:    *chaosDrop,
@@ -89,17 +98,19 @@ func main() {
 
 // nodeConfig carries the parsed command line.
 type nodeConfig struct {
-	keyDir      string
-	self        int
-	peers       string
-	bound       time.Duration
-	epsilon     time.Duration
-	load        int
-	quiet       bool
-	metricsAddr string
-	stallAfter  time.Duration
-	traceCap    int
-	plan        transport.FaultPlan
+	keyDir        string
+	self          int
+	peers         string
+	bound         time.Duration
+	epsilon       time.Duration
+	load          int
+	quiet         bool
+	metricsAddr   string
+	stallAfter    time.Duration
+	traceCap      int
+	verifyWorkers int
+	verifyCache   int
+	plan          transport.FaultPlan
 }
 
 // chaosEnabled reports whether the plan injects any fault at all.
@@ -164,6 +175,12 @@ func run(cfg nodeConfig) error {
 	queue := statemachine.NewQueue()
 	kv := statemachine.NewKV()
 	committed := 0
+	// With the pipeline active (the default) the engine's pool admits
+	// pre-verified input; disabling it restores inline verification.
+	policy := pool.VerifyPreVerified
+	if cfg.verifyWorkers < 0 {
+		policy = pool.VerifyFull
+	}
 	eng := core.NewEngine(core.Config{
 		Self:       types.PartyID(self),
 		Keys:       pub,
@@ -172,6 +189,7 @@ func run(cfg nodeConfig) error {
 		Epsilon:    cfg.epsilon,
 		Payload:    queue,
 		PruneDepth: 128,
+		Pool:       pool.Options{Policy: policy},
 		Hooks: core.ObservedHooks(ob, core.Hooks{
 			OnCommit: func(b *types.Block, now time.Duration) {
 				_ = kv.Apply(b.Payload)
@@ -187,6 +205,13 @@ func run(cfg nodeConfig) error {
 	runner := runtime.NewRunner(eng, ep, clock.NewWall(), pub.N)
 	runner.SetTransportStats(stats)
 	runner.SetObserver(ob)
+	if cfg.verifyWorkers >= 0 {
+		runner.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
+			Workers:   cfg.verifyWorkers,
+			CacheSize: cfg.verifyCache,
+			Registry:  reg,
+		}))
+	}
 	runner.Start()
 	defer runner.Stop()
 	fmt.Printf("party %d of %d listening on %s (t=%d tolerated faults)\n", self, pub.N, tcp.Addr(), pub.T)

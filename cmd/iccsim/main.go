@@ -18,6 +18,7 @@ import (
 
 	"icc/internal/core"
 	"icc/internal/harness"
+	"icc/internal/pool"
 	"icc/internal/simnet"
 	"icc/internal/types"
 )
@@ -68,17 +69,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %d corrupt parties exceeds t=%d (< n/3); expect trouble\n", next, tf)
 	}
 
+	verifyPolicy := pool.VerifyFull
+	if !*realCrypto {
+		verifyPolicy = pool.VerifySharesOnly
+	}
 	opts := harness.Options{
-		N:             *n,
-		Seed:          *seed,
-		DeltaBound:    *bound,
-		Epsilon:       *epsilon,
-		Mode:          m,
-		Behaviors:     behaviors,
-		Adaptive:      *adaptive,
-		SimBeacon:     !*realCrypto,
-		SkipAggVerify: !*realCrypto,
-		PruneDepth:    64,
+		N:          *n,
+		Seed:       *seed,
+		DeltaBound: *bound,
+		Epsilon:    *epsilon,
+		Mode:       m,
+		Behaviors:  behaviors,
+		Adaptive:   *adaptive,
+		SimBeacon:  !*realCrypto,
+		Verify:     verifyPolicy,
+		PruneDepth: 64,
 	}
 	if *wan {
 		mat := simnet.NewWANMatrix(*n, 6*time.Millisecond, 110*time.Millisecond, *seed)

@@ -35,11 +35,13 @@ import (
 	"icc/internal/harness"
 	"icc/internal/metrics"
 	"icc/internal/obs"
+	"icc/internal/pool"
 	"icc/internal/rbc"
 	"icc/internal/runtime"
 	"icc/internal/statemachine"
 	"icc/internal/transport"
 	"icc/internal/types"
+	"icc/internal/verify"
 )
 
 // Mode selects the protocol variant.
@@ -111,6 +113,16 @@ type Options struct {
 	// StallAfter is the /healthz stall threshold: the cluster reports
 	// unhealthy when no party has committed for this long (default 30 s).
 	StallAfter time.Duration
+	// VerifyWorkers sizes each party's parallel verification pipeline:
+	// 0 (default) uses GOMAXPROCS workers, a negative value disables the
+	// pipeline entirely (the engine verifies signatures inline on its
+	// event loop — the pre-pipeline behaviour).
+	VerifyWorkers int
+	// VerifyCacheSize bounds each party's verified-digest cache
+	// (default 8192 artifacts; negative disables caching). Re-gossiped
+	// and resync'd artifacts whose digests are cached skip signature
+	// re-verification.
+	VerifyCacheSize int
 }
 
 // Option mutates Options.
@@ -147,6 +159,14 @@ func WithMetricsAddr(addr string) Option { return func(o *Options) { o.MetricsAd
 
 // WithStallAfter sets the /healthz stall threshold.
 func WithStallAfter(d time.Duration) Option { return func(o *Options) { o.StallAfter = d } }
+
+// WithVerifyWorkers sizes the per-party verification worker pool
+// (0 = GOMAXPROCS; negative = verify inline on the engine loop).
+func WithVerifyWorkers(n int) Option { return func(o *Options) { o.VerifyWorkers = n } }
+
+// WithVerifyCacheSize bounds the per-party verified-digest cache
+// (0 = default 8192; negative = no cache).
+func WithVerifyCacheSize(n int) Option { return func(o *Options) { o.VerifyCacheSize = n } }
 
 // validate rejects nonsensical option values up front, so misconfigured
 // clusters fail loudly at construction instead of hanging at runtime.
@@ -270,6 +290,13 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		ob := obs.NewObserver(obs.ObserverConfig{
 			Registry: reg, Tracer: tracer, Party: i, Health: c.health,
 		})
+		// With the parallel verification pipeline (the default), the
+		// engine's pool trusts its input: every signed artifact already
+		// passed a pipeline worker before reaching the event loop.
+		policy := pool.VerifyPreVerified
+		if o.VerifyWorkers < 0 {
+			policy = pool.VerifyFull
+		}
 		inner := core.NewEngine(core.Config{
 			Self:       types.PartyID(i),
 			Keys:       pub,
@@ -277,6 +304,7 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			DeltaBound: o.DeltaBound,
 			Epsilon:    o.Epsilon,
 			Payload:    c.queues[i],
+			Pool:       pool.Options{Policy: policy},
 			Hooks: core.ObservedHooks(ob, core.Hooks{
 				OnCommit: func(b *types.Block, _ time.Duration) { c.commit(i, b) },
 			}),
@@ -301,6 +329,13 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		r := runtime.NewRunner(eng, c.hub.Endpoint(types.PartyID(i)), clk, n)
 		r.SetTransportStats(c.stats)
 		r.SetObserver(ob)
+		if o.VerifyWorkers >= 0 {
+			r.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
+				Workers:   o.VerifyWorkers,
+				CacheSize: o.VerifyCacheSize,
+				Registry:  reg,
+			}))
+		}
 		c.rnrs = append(c.rnrs, r)
 	}
 	return c, nil

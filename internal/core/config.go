@@ -76,6 +76,12 @@ type Hooks struct {
 	// OnResync fires when the stall detector re-broadcasts the party's
 	// protocol frontier (resync.go).
 	OnResync func(k types.Round, now time.Duration)
+	// OnRejectedMessage fires when an inbound artifact fails admission —
+	// a bad signature, share, or aggregate, or a structural mismatch
+	// against the pool. reason is one of the internal/crypto Reason*
+	// labels; it feeds the icc_verify_rejects_total counter. Duplicate
+	// deliveries are not rejects and do not fire this hook.
+	OnRejectedMessage func(from types.PartyID, reason string)
 }
 
 // Config assembles an engine.

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"icc/internal/crypto"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/sig"
 	"icc/internal/engine"
@@ -140,8 +141,10 @@ func (e *Engine) emit(m types.Message) {
 }
 
 // ingest routes one received message into the pool/beacon. Invalid
-// artifacts are dropped silently (the sender may be corrupt; paper §3.1
-// makes no authenticity assumption beyond the signatures themselves).
+// artifacts are dropped (the sender may be corrupt; paper §3.1 makes no
+// authenticity assumption beyond the signatures themselves) — but no
+// longer silently: each admission failure fires OnRejectedMessage with
+// the sender and a classified reason.
 func (e *Engine) ingest(from types.PartyID, m types.Message, now time.Duration) {
 	switch v := m.(type) {
 	case *types.Bundle:
@@ -153,19 +156,32 @@ func (e *Engine) ingest(from types.PartyID, m types.Message, now time.Duration) 
 			return
 		}
 		if e.cfg.MaxPayload > 0 && len(v.Block.Payload) > e.cfg.MaxPayload {
+			e.reject(from, crypto.Mismatch)
 			return
 		}
 		e.pool.AddBlock(v.Block)
 	case *types.Authenticator:
-		e.pool.AddAuthenticator(v)
+		if _, err := e.pool.AddAuthenticator(v); err != nil {
+			e.reject(from, err)
+		}
 	case *types.NotarizationShare:
-		e.pool.AddNotarizationShare(v)
+		if _, err := e.pool.AddNotarizationShare(v); err != nil {
+			e.reject(from, err)
+		}
 	case *types.Notarization:
-		e.pool.AddNotarization(v)
+		if _, err := e.pool.AddNotarization(v); err != nil {
+			e.reject(from, err)
+		}
 	case *types.FinalizationShare:
-		e.pool.AddFinalizationShare(v)
+		if _, err := e.pool.AddFinalizationShare(v); err != nil {
+			e.reject(from, err)
+		}
 	case *types.Finalization:
-		if e.pool.AddFinalization(v) && v.Round > e.finalSeen {
+		added, err := e.pool.AddFinalization(v)
+		if err != nil {
+			e.reject(from, err)
+		}
+		if added && v.Round > e.finalSeen {
 			e.finalSeen = v.Round
 		}
 	case *types.BeaconShare:
@@ -175,6 +191,13 @@ func (e *Engine) ingest(from types.PartyID, m types.Message, now time.Duration) 
 	default:
 		// Gossip and RBC messages are handled by wrapper engines; a bare
 		// ICC0 engine ignores them.
+	}
+}
+
+// reject reports one admission failure to the instrumentation hook.
+func (e *Engine) reject(from types.PartyID, err error) {
+	if e.cfg.Hooks.OnRejectedMessage != nil {
+		e.cfg.Hooks.OnRejectedMessage(from, crypto.Reason(err))
 	}
 }
 
@@ -264,7 +287,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 				continue
 			}
 			nz := &types.Notarization{Round: k, Proposer: b.Proposer, BlockHash: h2, Agg: agg.Encode()}
-			if e.pool.AddNotarization(nz) {
+			if added, _ := e.pool.AddNotarization(nz); added {
 				h, ok = h2, true
 				break
 			}
@@ -287,7 +310,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 			Round: k, Proposer: b.Proposer, BlockHash: h, Signer: e.cfg.Self,
 			Sig: sig.Sign(e.cfg.Priv.Final.Key, types.DomainFinalization, msg),
 		}
-		e.pool.AddFinalizationShare(fs)
+		_, _ = e.pool.AddFinalizationShare(fs)
 		if k > e.finalSeen {
 			e.emit(fs)
 		}
@@ -346,7 +369,7 @@ func (e *Engine) tryPropose(now time.Duration) bool {
 		Sig: sig.Sign(e.cfg.Priv.Auth, types.DomainAuthenticator, types.SigningBytes(k, e.cfg.Self, h)),
 	}
 	e.pool.AddBlock(b)
-	e.pool.AddAuthenticator(auth)
+	_, _ = e.pool.AddAuthenticator(auth)
 	bundle := &types.Bundle{Messages: []types.Message{&types.BlockMsg{Block: b}, auth}}
 	if nz := e.pool.Notarization(parentHash); nz != nil {
 		bundle.Messages = append(bundle.Messages, nz)
@@ -447,7 +470,7 @@ func (e *Engine) tryEchoNotarize(now time.Duration) bool {
 				Round: e.round, Proposer: b.Proposer, BlockHash: c.h, Signer: e.cfg.Self,
 				Sig: e.cfg.Priv.Notary.Sign(types.DomainNotarization, msg).Signature,
 			}
-			e.pool.AddNotarizationShare(ns)
+			_, _ = e.pool.AddNotarizationShare(ns)
 			e.emit(ns)
 			if e.cfg.Hooks.OnNotarizationShare != nil {
 				e.cfg.Hooks.OnNotarizationShare(e.round, now)
@@ -505,7 +528,7 @@ func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
 				continue
 			}
 			fin := &types.Finalization{Round: k, Proposer: b.Proposer, BlockHash: h, Agg: agg.Encode()}
-			if !e.pool.AddFinalization(fin) {
+			if added, _ := e.pool.AddFinalization(fin); !added {
 				continue
 			}
 			if k > e.finalSeen {

@@ -65,5 +65,11 @@ func ObservedHooks(ob *obs.Observer, base Hooks) Hooks {
 				base.OnResync(k, now)
 			}
 		},
+		OnRejectedMessage: func(from types.PartyID, reason string) {
+			ob.RejectedMessage(reason)
+			if base.OnRejectedMessage != nil {
+				base.OnRejectedMessage(from, reason)
+			}
+		},
 	}
 }

@@ -1,0 +1,57 @@
+// Package crypto holds the sentinel errors shared by every signature
+// scheme in the repository (sig, multisig, thresig), so that admission
+// layers — the pool, the parallel verification pipeline — can classify a
+// failure with errors.Is regardless of which scheme produced it, and so
+// that reject metrics carry a stable reason label instead of a free-form
+// message string.
+package crypto
+
+import "errors"
+
+// Sentinel verification errors. Scheme packages wrap these with their
+// own context; errors.Is(err, crypto.ErrBadSignature) therefore works on
+// any verification failure in the repository.
+var (
+	// ErrBadSignature: an ordinary (ed25519) signature failed to verify —
+	// a block authenticator, or the signature inside a multisig share.
+	ErrBadSignature = errors.New("crypto: invalid signature")
+	// ErrBadShare: a threshold/multisig signature share failed to verify
+	// (bad signer index, malformed encoding, or invalid signature/proof).
+	ErrBadShare = errors.New("crypto: invalid signature share")
+	// ErrBadAggregate: a combined quorum signature failed to verify
+	// (too few signers, malformed signer list, or an invalid member).
+	ErrBadAggregate = errors.New("crypto: invalid aggregate signature")
+)
+
+// Reject-reason labels for the icc_verify_rejects_total metric family.
+// Reason maps any error onto this closed set.
+const (
+	ReasonBadSignature = "bad_signature"
+	ReasonBadShare     = "bad_share"
+	ReasonBadAggregate = "bad_aggregate"
+	ReasonMismatch     = "mismatch"
+	ReasonMalformed    = "malformed"
+)
+
+// Mismatch tags errors from structural admission checks: an artifact
+// whose claimed (round, proposer) contradicts a block already held.
+// Defined here (not in the pool) so reason classification has one home.
+var Mismatch = errors.New("crypto: artifact contradicts stored block")
+
+// Reason classifies a verification error into a metric label. Unknown
+// errors classify as malformed — the artifact never reached a signature
+// check.
+func Reason(err error) string {
+	switch {
+	case errors.Is(err, ErrBadAggregate):
+		return ReasonBadAggregate
+	case errors.Is(err, ErrBadShare):
+		return ReasonBadShare
+	case errors.Is(err, ErrBadSignature):
+		return ReasonBadSignature
+	case errors.Is(err, Mismatch):
+		return ReasonMismatch
+	default:
+		return ReasonMalformed
+	}
+}

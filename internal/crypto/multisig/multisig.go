@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"icc/internal/crypto"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/sig"
 )
@@ -46,11 +47,13 @@ type Aggregate struct {
 	Sigs    [][]byte // Sigs[i] is Signers[i]'s signature
 }
 
-// Errors returned by the package.
+// Errors returned by the package. ErrBadShare and ErrBadAggregate wrap
+// the repository-wide sentinels of internal/crypto, so admission layers
+// classify failures with errors.Is across all signature schemes.
 var (
-	ErrBadShare        = errors.New("multisig: invalid signature share")
+	ErrBadShare        = fmt.Errorf("multisig: %w", crypto.ErrBadShare)
 	ErrNotEnoughShares = errors.New("multisig: not enough valid shares")
-	ErrBadAggregate    = errors.New("multisig: invalid aggregate")
+	ErrBadAggregate    = fmt.Errorf("multisig: %w", crypto.ErrBadAggregate)
 )
 
 // Sign produces this party's share on the domain-tagged message.

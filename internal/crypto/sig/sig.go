@@ -6,10 +6,10 @@ package sig
 
 import (
 	"crypto/ed25519"
-	"errors"
 	"fmt"
 	"io"
 
+	"icc/internal/crypto"
 	"icc/internal/crypto/hash"
 )
 
@@ -25,8 +25,10 @@ type PublicKey []byte
 // PrivateKey is a signing key.
 type PrivateKey []byte
 
-// ErrInvalidSignature is returned when verification fails.
-var ErrInvalidSignature = errors.New("sig: invalid signature")
+// ErrInvalidSignature is returned when verification fails. It wraps the
+// repository-wide crypto.ErrBadSignature sentinel, so callers may test
+// with errors.Is against either name.
+var ErrInvalidSignature = fmt.Errorf("sig: %w", crypto.ErrBadSignature)
 
 // GenerateKey creates a fresh key pair.
 func GenerateKey(rng io.Reader) (PublicKey, PrivateKey, error) {

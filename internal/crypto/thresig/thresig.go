@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 
+	"icc/internal/crypto"
 	"icc/internal/crypto/dleq"
 	"icc/internal/crypto/ec"
 	"icc/internal/crypto/hash"
@@ -51,10 +52,11 @@ type Signature struct {
 	Point *ec.Point // sk · H2C(m)
 }
 
-// Errors returned by the package.
+// Errors returned by the package. ErrBadShare wraps the repository-wide
+// crypto.ErrBadShare sentinel for cross-scheme classification.
 var (
 	ErrBadIndex        = errors.New("thresig: share index out of range")
-	ErrBadShare        = errors.New("thresig: invalid signature share")
+	ErrBadShare        = fmt.Errorf("thresig: %w", crypto.ErrBadShare)
 	ErrNotEnoughShares = errors.New("thresig: not enough valid shares")
 )
 

@@ -9,6 +9,7 @@ import (
 	"icc/internal/beacon"
 	"icc/internal/engine"
 	"icc/internal/harness"
+	"icc/internal/pool"
 	"icc/internal/simnet"
 	"icc/internal/types"
 )
@@ -125,13 +126,13 @@ func iccAdaptiveRun(n int, delta, bound, window time.Duration, kappa int) int64 
 	var oracleRound types.Round
 
 	opts := harness.Options{
-		N:             n,
-		Seed:          10100 + int64(kappa),
-		Delay:         simnet.Fixed{D: delta},
-		DeltaBound:    bound,
-		SimBeacon:     true,
-		SkipAggVerify: true,
-		PruneDepth:    32,
+		N:          n,
+		Seed:       10100 + int64(kappa),
+		Delay:      simnet.Fixed{D: delta},
+		DeltaBound: bound,
+		SimBeacon:  true,
+		Verify:     pool.VerifySharesOnly,
+		PruneDepth: 32,
 	}
 	var pubSeed []byte
 	opts.WrapEngine = func(p types.PartyID, e engine.Engine) engine.Engine {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"icc/internal/harness"
+	"icc/internal/pool"
 	"icc/internal/simnet"
 	"icc/internal/types"
 )
@@ -48,14 +49,14 @@ func MessageComplexity(scale Scale) *Table {
 
 func meanRoundMsgs(n int, behaviors map[types.PartyID]harness.Behavior, blocks int) float64 {
 	c, err := harness.New(harness.Options{
-		N:             n,
-		Seed:          int64(3000 + n),
-		Delay:         simnet.Fixed{D: 10 * time.Millisecond},
-		DeltaBound:    50 * time.Millisecond,
-		Behaviors:     behaviors,
-		SimBeacon:     true,
-		SkipAggVerify: true,
-		PruneDepth:    32,
+		N:          n,
+		Seed:       int64(3000 + n),
+		Delay:      simnet.Fixed{D: 10 * time.Millisecond},
+		DeltaBound: 50 * time.Millisecond,
+		Behaviors:  behaviors,
+		SimBeacon:  true,
+		Verify:     pool.VerifySharesOnly,
+		PruneDepth: 32,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -92,14 +93,14 @@ func RoundComplexity(scale Scale) *Table {
 		}
 	}
 	c, err := harness.New(harness.Options{
-		N:             n,
-		Seed:          4001,
-		Delay:         simnet.Uniform{Min: 5 * time.Millisecond, Max: 35 * time.Millisecond},
-		DeltaBound:    40 * time.Millisecond,
-		Behaviors:     behaviors,
-		SimBeacon:     true,
-		SkipAggVerify: true,
-		PruneDepth:    64,
+		N:          n,
+		Seed:       4001,
+		Delay:      simnet.Uniform{Min: 5 * time.Millisecond, Max: 35 * time.Millisecond},
+		DeltaBound: 40 * time.Millisecond,
+		Behaviors:  behaviors,
+		SimBeacon:  true,
+		Verify:     pool.VerifySharesOnly,
+		PruneDepth: 64,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -171,14 +172,14 @@ func Robustness(scale Scale) *Table {
 				behaviors[types.PartyID(i)] = kind
 			}
 			c, err := harness.New(harness.Options{
-				N:             n,
-				Seed:          5000 + int64(bad)*10 + int64(kind),
-				Delay:         simnet.Fixed{D: 10 * time.Millisecond},
-				DeltaBound:    50 * time.Millisecond,
-				Behaviors:     behaviors,
-				SimBeacon:     true,
-				SkipAggVerify: true,
-				PruneDepth:    32,
+				N:          n,
+				Seed:       5000 + int64(bad)*10 + int64(kind),
+				Delay:      simnet.Fixed{D: 10 * time.Millisecond},
+				DeltaBound: 50 * time.Millisecond,
+				Behaviors:  behaviors,
+				SimBeacon:  true,
+				Verify:     pool.VerifySharesOnly,
+				PruneDepth: 32,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))

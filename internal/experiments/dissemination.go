@@ -6,6 +6,7 @@ import (
 
 	"icc/internal/core"
 	"icc/internal/harness"
+	"icc/internal/pool"
 	"icc/internal/simnet"
 	"icc/internal/types"
 )
@@ -34,15 +35,15 @@ func Dissemination(scale Scale) *Table {
 	for _, size := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
 		for _, mode := range []harness.Mode{harness.ICC0, harness.ICC1, harness.ICC2} {
 			c, err := harness.New(harness.Options{
-				N:             n,
-				Seed:          int64(7000 + size/1024),
-				Delay:         simnet.Fixed{D: 10 * time.Millisecond},
-				DeltaBound:    50 * time.Millisecond,
-				Mode:          mode,
-				Payload:       core.SizedPayload{Size: size},
-				SimBeacon:     true,
-				SkipAggVerify: true,
-				PruneDepth:    16,
+				N:          n,
+				Seed:       int64(7000 + size/1024),
+				Delay:      simnet.Fixed{D: 10 * time.Millisecond},
+				DeltaBound: 50 * time.Millisecond,
+				Mode:       mode,
+				Payload:    core.SizedPayload{Size: size},
+				SimBeacon:  true,
+				Verify:     pool.VerifySharesOnly,
+				PruneDepth: 16,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))
@@ -98,14 +99,14 @@ func AblationDelays(scale Scale) *Table {
 	// (a) ε sweep, honest network δ=10ms.
 	for _, eps := range []time.Duration{0, 100 * time.Millisecond, 500 * time.Millisecond} {
 		c, err := harness.New(harness.Options{
-			N:             7,
-			Seed:          9001,
-			Delay:         simnet.Fixed{D: 10 * time.Millisecond},
-			DeltaBound:    50 * time.Millisecond,
-			Epsilon:       eps,
-			SimBeacon:     true,
-			SkipAggVerify: true,
-			PruneDepth:    32,
+			N:          7,
+			Seed:       9001,
+			Delay:      simnet.Fixed{D: 10 * time.Millisecond},
+			DeltaBound: 50 * time.Millisecond,
+			Epsilon:    eps,
+			SimBeacon:  true,
+			Verify:     pool.VerifySharesOnly,
+			PruneDepth: 32,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
@@ -126,14 +127,14 @@ func AblationDelays(scale Scale) *Table {
 	// liveness condition 2δ + Δprop(0) ≤ Δntry(1) holds again.
 	for _, adaptive := range []bool{false, true} {
 		c, err := harness.New(harness.Options{
-			N:             7,
-			Seed:          9002,
-			Delay:         simnet.Uniform{Min: 40 * time.Millisecond, Max: 400 * time.Millisecond},
-			DeltaBound:    20 * time.Millisecond, // mis-configured: δ up to 20×Δbnd
-			Adaptive:      adaptive,
-			SimBeacon:     true,
-			SkipAggVerify: true,
-			PruneDepth:    32,
+			N:          7,
+			Seed:       9002,
+			Delay:      simnet.Uniform{Min: 40 * time.Millisecond, Max: 400 * time.Millisecond},
+			DeltaBound: 20 * time.Millisecond, // mis-configured: δ up to 20×Δbnd
+			Adaptive:   adaptive,
+			SimBeacon:  true,
+			Verify:     pool.VerifySharesOnly,
+			PruneDepth: 32,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))

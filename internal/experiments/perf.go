@@ -8,6 +8,7 @@ import (
 	"icc/internal/baseline"
 	"icc/internal/harness"
 	"icc/internal/metrics"
+	"icc/internal/pool"
 	"icc/internal/simnet"
 	"icc/internal/types"
 )
@@ -15,15 +16,15 @@ import (
 // runVariant runs one ICC cluster to a target block count and summarises.
 func runVariant(mode harness.Mode, n int, delta, bound, epsilon time.Duration, seed int64, blocks int) metrics.Summary {
 	c, err := harness.New(harness.Options{
-		N:             n,
-		Seed:          seed,
-		Delay:         simnet.Fixed{D: delta},
-		DeltaBound:    bound,
-		Epsilon:       epsilon,
-		Mode:          mode,
-		SimBeacon:     true,
-		SkipAggVerify: true,
-		PruneDepth:    32,
+		N:          n,
+		Seed:       seed,
+		Delay:      simnet.Fixed{D: delta},
+		DeltaBound: bound,
+		Epsilon:    epsilon,
+		Mode:       mode,
+		SimBeacon:  true,
+		Verify:     pool.VerifySharesOnly,
+		PruneDepth: 32,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -6,6 +6,7 @@ import (
 
 	"icc/internal/core"
 	"icc/internal/harness"
+	"icc/internal/pool"
 	"icc/internal/simnet"
 	"icc/internal/types"
 )
@@ -76,15 +77,15 @@ func Table1(scale Scale) *Table {
 func runTable1Cell(n int, epsilon time.Duration, window time.Duration, load, failures bool) (blocksPerSec, mbpsPerNode float64) {
 	m := simnet.NewWANMatrix(n, 6*time.Millisecond, 110*time.Millisecond, int64(n))
 	opts := harness.Options{
-		N:             n,
-		Seed:          int64(n)*1000 + boolInt(load)*10 + boolInt(failures),
-		Delay:         m,
-		DeltaBound:    300 * time.Millisecond,
-		Epsilon:       epsilon,
-		Mode:          harness.ICC1, // production uses the gossip sub-layer
-		SimBeacon:     true,
-		SkipAggVerify: true,
-		PruneDepth:    32,
+		N:          n,
+		Seed:       int64(n)*1000 + boolInt(load)*10 + boolInt(failures),
+		Delay:      m,
+		DeltaBound: 300 * time.Millisecond,
+		Epsilon:    epsilon,
+		Mode:       harness.ICC1, // production uses the gossip sub-layer
+		SimBeacon:  true,
+		Verify:     pool.VerifySharesOnly,
+		PruneDepth: 32,
 	}
 	if load {
 		// 100 req/s × 1 KB spread over the expected block rate: a block

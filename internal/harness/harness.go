@@ -70,9 +70,11 @@ type Options struct {
 	// SimBeacon swaps the threshold-cryptography beacon for the fast
 	// hash-chain simulation (same message pattern; see beacon.Simulated).
 	SimBeacon bool
-	// SkipAggVerify admits quorum aggregates without signature checks
-	// (large honest-only sweeps).
-	SkipAggVerify bool
+	// Verify selects the pool admission policy. The zero value is
+	// pool.VerifyFull; large honest-only sweeps use pool.VerifySharesOnly
+	// to admit locally combined aggregates without re-checking n−t
+	// signatures (the former SkipAggVerify knob).
+	Verify pool.VerifyPolicy
 
 	Payload    core.PayloadSource
 	MaxPayload int
@@ -190,7 +192,7 @@ func (c *Cluster) engineConfig(pid types.PartyID) core.Config {
 		MaxPayload: c.Opts.MaxPayload,
 		Adaptive:   c.Opts.Adaptive,
 		PruneDepth: c.Opts.PruneDepth,
-		Pool:       pool.Options{SkipAggregateVerify: c.Opts.SkipAggVerify},
+		Pool:       pool.Options{Policy: c.Opts.Verify},
 		Hooks: core.Hooks{
 			OnCommit: func(b *types.Block, now time.Duration) {
 				c.mu.Lock()

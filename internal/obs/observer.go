@@ -101,6 +101,7 @@ type Observer struct {
 	resyncs        *Counter
 	msgsReceived   *Counter
 	ticks          *Counter
+	rejects        *CounterVec
 	currentRound   *Gauge
 	finalizedRound *Gauge
 
@@ -150,6 +151,7 @@ func NewObserver(cfg ObserverConfig) *Observer {
 		resyncs:        reg.Counter("icc_resyncs_total", "Stall-triggered resynchronisation broadcasts."),
 		msgsReceived:   reg.Counter("icc_runtime_messages_received_total", "Messages delivered to the engine event loop."),
 		ticks:          reg.Counter("icc_runtime_ticks_total", "Timer ticks delivered to the engine event loop."),
+		rejects:        reg.CounterVec("icc_verify_rejects_total", "Inbound artifacts rejected at admission, by reason.", "reason"),
 		currentRound:   reg.Gauge("icc_current_round", "Round the engine is currently working on."),
 		finalizedRound: reg.Gauge("icc_finalized_round", "Highest round this node has committed."),
 
@@ -276,6 +278,15 @@ func (o *Observer) Resync(k uint64, now time.Duration) {
 	}
 	o.resyncs.Inc()
 	o.trace(KindResync, k, "")
+}
+
+// RejectedMessage records one inbound artifact failing admission,
+// labeled with the internal/crypto reason classification.
+func (o *Observer) RejectedMessage(reason string) {
+	if o == nil {
+		return
+	}
+	o.rejects.With(reason).Inc()
 }
 
 // MessageReceived records one message delivered to the event loop.

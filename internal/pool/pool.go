@@ -12,10 +12,12 @@
 package pool
 
 import (
+	"fmt"
+
+	"icc/internal/crypto"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
 	"icc/internal/crypto/multisig"
-	"icc/internal/crypto/sig"
 	"icc/internal/types"
 )
 
@@ -45,20 +47,22 @@ type Pool struct {
 	// everything.
 	finalizableDirty map[types.Round]struct{}
 
-	// verifyAggregates controls whether combined notarizations and
-	// finalizations are cryptographically verified at admission. Shares
-	// are always verified. Disabled only by large-scale simulation
-	// benchmarks.
-	verifyAggregates bool
+	// verifier performs the cryptographic admission checks. Structural
+	// checks that depend on pool state (duplicates, block contradiction)
+	// remain in the Add methods themselves.
+	verifier Verifier
 }
 
 // Options tunes a Pool.
 type Options struct {
-	// SkipAggregateVerify admits notarization/finalization aggregates
-	// without verifying their n−t signatures. Used by large simulation
-	// sweeps where all parties are honest-but-instrumented; never in
-	// production paths.
-	SkipAggregateVerify bool
+	// Verifier performs the cryptographic admission checks. Nil selects
+	// a CryptoVerifier over the pool's key material with Policy.
+	Verifier Verifier
+	// Policy tunes the default verifier when Verifier is nil: VerifyFull
+	// for raw network input, VerifySharesOnly for honest-only simulation
+	// sweeps, VerifyPreVerified when a verification pipeline upstream
+	// has already checked every inbound artifact.
+	Policy VerifyPolicy
 }
 
 // New creates an empty pool initialised with the root block, which is
@@ -80,7 +84,10 @@ func New(pub *keys.Public, self types.PartyID, opts Options) *Pool {
 		finalization:     make(map[hash.Digest]*types.Finalization),
 		validCache:       make(map[hash.Digest]bool),
 		finalizableDirty: make(map[types.Round]struct{}),
-		verifyAggregates: !opts.SkipAggregateVerify,
+		verifier:         opts.Verifier,
+	}
+	if p.verifier == nil {
+		p.verifier = NewVerifier(pub, opts.Policy)
 	}
 	return p
 }
@@ -104,21 +111,24 @@ func (p *Pool) AddBlock(b *types.Block) bool {
 	return true
 }
 
-// AddAuthenticator verifies and stores an authenticator. Returns true if
-// newly stored.
-func (p *Pool) AddAuthenticator(a *types.Authenticator) bool {
-	if a == nil || a.Proposer < 0 || int(a.Proposer) >= p.pub.N || a.Round == 0 {
-		return false
+// AddAuthenticator verifies and stores an authenticator.
+//
+// All verified-artifact adders share one contract: (true, nil) means
+// newly stored, (false, nil) means a benign no-op (duplicate or already
+// present), and (false, err) means the artifact was rejected — err wraps
+// an internal/crypto sentinel so callers can attribute the reject.
+func (p *Pool) AddAuthenticator(a *types.Authenticator) (bool, error) {
+	if a == nil {
+		return false, fmt.Errorf("%w: nil authenticator", crypto.ErrBadSignature)
 	}
 	if _, ok := p.auths[a.BlockHash]; ok {
-		return false
+		return false, nil
 	}
-	msg := types.SigningBytes(a.Round, a.Proposer, a.BlockHash)
-	if err := sig.Verify(p.pub.Auth[a.Proposer], types.DomainAuthenticator, msg, a.Sig); err != nil {
-		return false
+	if err := p.verifier.Authenticator(a); err != nil {
+		return false, err
 	}
 	p.auths[a.BlockHash] = a
-	return true
+	return true, nil
 }
 
 // AddNotarizationShare verifies and stores a share. Returns true if
@@ -126,68 +136,59 @@ func (p *Pool) AddAuthenticator(a *types.Authenticator) bool {
 // block already in the pool is rejected: it could never combine into a
 // verifiable notarization for that block, and counting it would let an
 // adversary inflate the share count.
-func (p *Pool) AddNotarizationShare(s *types.NotarizationShare) bool {
-	if s == nil || s.Signer < 0 || int(s.Signer) >= p.pub.N || s.Round == 0 {
-		return false
+func (p *Pool) AddNotarizationShare(s *types.NotarizationShare) (bool, error) {
+	if s == nil {
+		return false, fmt.Errorf("%w: nil notarization share", crypto.ErrBadShare)
 	}
 	if b, ok := p.blocks[s.BlockHash]; ok && (b.Round != s.Round || b.Proposer != s.Proposer) {
-		return false
+		return false, fmt.Errorf("%w: notarization share for round %d/proposer %d", crypto.Mismatch, s.Round, s.Proposer)
 	}
 	m := p.notarShares[s.BlockHash]
 	if _, dup := m[s.Signer]; dup {
-		return false
+		return false, nil
 	}
-	msg := types.SigningBytes(s.Round, s.Proposer, s.BlockHash)
-	if err := p.pub.Notary.VerifyShare(types.DomainNotarization, msg, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig}); err != nil {
-		return false
+	if err := p.verifier.NotarizationShare(s); err != nil {
+		return false, err
 	}
 	if m == nil {
 		m = make(map[types.PartyID]*types.NotarizationShare)
 		p.notarShares[s.BlockHash] = m
 	}
 	m[s.Signer] = s
-	return true
+	return true, nil
 }
 
-// AddNotarization verifies and stores a combined notarization. Returns
-// true if newly stored.
-func (p *Pool) AddNotarization(nz *types.Notarization) bool {
-	if nz == nil || nz.Round == 0 {
-		return false
+// AddNotarization verifies and stores a combined notarization (same
+// result contract as AddAuthenticator).
+func (p *Pool) AddNotarization(nz *types.Notarization) (bool, error) {
+	if nz == nil {
+		return false, fmt.Errorf("%w: nil notarization", crypto.ErrBadAggregate)
 	}
 	if _, ok := p.notarization[nz.BlockHash]; ok {
-		return false
+		return false, nil
 	}
-	if p.verifyAggregates {
-		agg, err := multisig.DecodeAggregate(nz.Agg)
-		if err != nil {
-			return false
-		}
-		msg := types.SigningBytes(nz.Round, nz.Proposer, nz.BlockHash)
-		if err := p.pub.Notary.Verify(types.DomainNotarization, msg, agg); err != nil {
-			return false
-		}
+	if err := p.verifier.Notarization(nz); err != nil {
+		return false, err
 	}
 	p.notarization[nz.BlockHash] = nz
-	return true
+	return true, nil
 }
 
-// AddFinalizationShare verifies and stores a share. Returns true if
-// newly stored (same mismatch rule as AddNotarizationShare).
-func (p *Pool) AddFinalizationShare(s *types.FinalizationShare) bool {
-	if s == nil || s.Signer < 0 || int(s.Signer) >= p.pub.N || s.Round == 0 {
-		return false
+// AddFinalizationShare verifies and stores a share (same mismatch rule
+// as AddNotarizationShare, same result contract as AddAuthenticator).
+func (p *Pool) AddFinalizationShare(s *types.FinalizationShare) (bool, error) {
+	if s == nil {
+		return false, fmt.Errorf("%w: nil finalization share", crypto.ErrBadShare)
 	}
 	if b, ok := p.blocks[s.BlockHash]; ok && (b.Round != s.Round || b.Proposer != s.Proposer) {
-		return false
+		return false, fmt.Errorf("%w: finalization share for round %d/proposer %d", crypto.Mismatch, s.Round, s.Proposer)
 	}
 	m := p.finalShares[s.BlockHash]
 	if _, dup := m[s.Signer]; dup {
-		return false
+		return false, nil
 	}
-	msg := types.SigningBytes(s.Round, s.Proposer, s.BlockHash)
-	if err := p.pub.Final.VerifyShare(types.DomainFinalization, msg, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig}); err != nil {
-		return false
+	if err := p.verifier.FinalizationShare(s); err != nil {
+		return false, err
 	}
 	if m == nil {
 		m = make(map[types.PartyID]*types.FinalizationShare)
@@ -195,31 +196,24 @@ func (p *Pool) AddFinalizationShare(s *types.FinalizationShare) bool {
 	}
 	m[s.Signer] = s
 	p.finalizableDirty[s.Round] = struct{}{}
-	return true
+	return true, nil
 }
 
-// AddFinalization verifies and stores a combined finalization. Returns
-// true if newly stored.
-func (p *Pool) AddFinalization(f *types.Finalization) bool {
-	if f == nil || f.Round == 0 {
-		return false
+// AddFinalization verifies and stores a combined finalization (same
+// result contract as AddAuthenticator).
+func (p *Pool) AddFinalization(f *types.Finalization) (bool, error) {
+	if f == nil {
+		return false, fmt.Errorf("%w: nil finalization", crypto.ErrBadAggregate)
 	}
 	if _, ok := p.finalization[f.BlockHash]; ok {
-		return false
+		return false, nil
 	}
-	if p.verifyAggregates {
-		agg, err := multisig.DecodeAggregate(f.Agg)
-		if err != nil {
-			return false
-		}
-		msg := types.SigningBytes(f.Round, f.Proposer, f.BlockHash)
-		if err := p.pub.Final.Verify(types.DomainFinalization, msg, agg); err != nil {
-			return false
-		}
+	if err := p.verifier.Finalization(f); err != nil {
+		return false, err
 	}
 	p.finalization[f.BlockHash] = f
 	p.finalizableDirty[f.Round] = struct{}{}
-	return true
+	return true, nil
 }
 
 // Block returns the block with the given hash, if present.

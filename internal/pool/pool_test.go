@@ -2,13 +2,19 @@ package pool
 
 import (
 	"crypto/rand"
+	"errors"
 	"testing"
 
+	"icc/internal/crypto"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
 	"icc/internal/crypto/sig"
 	"icc/internal/types"
 )
+
+// added adapts the (bool, error) admission result for tests that only
+// care whether the artifact was stored.
+func added(ok bool, _ error) bool { return ok }
 
 type fixture struct {
 	pub   *keys.Public
@@ -72,7 +78,7 @@ func (f *fixture) notarize(t testing.TB, b *types.Block) {
 	for i := 0; i < f.pub.N; i++ {
 		f.pool.AddNotarizationShare(f.nshare(b, types.PartyID(i)))
 	}
-	if !f.pool.AddNotarization(f.notarization(t, b)) {
+	if !added(f.pool.AddNotarization(f.notarization(t, b))) {
 		t.Fatal("notarization rejected")
 	}
 }
@@ -115,7 +121,7 @@ func TestValidityLadder(t *testing.T) {
 	}
 	f.pool.AddNotarizationShare(f.nshare(b, 3))
 	nz := f.notarization(t, b)
-	if !f.pool.AddNotarization(nz) {
+	if !added(f.pool.AddNotarization(nz)) {
 		t.Fatal("valid notarization rejected")
 	}
 	if !f.pool.IsNotarized(h) {
@@ -168,25 +174,26 @@ func TestRejectsBadSignatures(t *testing.T) {
 	bad := f.auth(b)
 	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
 	bad.Sig = sig.Sign(f.privs[1].Auth, types.DomainAuthenticator, msg)
-	if f.pool.AddAuthenticator(bad) {
-		t.Fatal("wrong-signer authenticator accepted")
+	if _, err := f.pool.AddAuthenticator(bad); !errors.Is(err, crypto.ErrBadSignature) {
+		t.Fatalf("wrong-signer authenticator: err = %v", err)
 	}
 	// Share with mismatched signer field.
 	s := f.nshare(b, 0)
 	s.Signer = 1
-	if f.pool.AddNotarizationShare(s) {
-		t.Fatal("share with stolen identity accepted")
+	if _, err := f.pool.AddNotarizationShare(s); !errors.Is(err, crypto.ErrBadShare) {
+		t.Fatalf("share with stolen identity: err = %v", err)
 	}
 	// Out-of-range values.
-	if f.pool.AddAuthenticator(&types.Authenticator{Round: 1, Proposer: 9}) {
+	if _, err := f.pool.AddAuthenticator(&types.Authenticator{Round: 1, Proposer: 9}); err == nil {
 		t.Fatal("out-of-range proposer accepted")
 	}
-	if f.pool.AddNotarizationShare(&types.NotarizationShare{Round: 1, Signer: -1}) {
+	if _, err := f.pool.AddNotarizationShare(&types.NotarizationShare{Round: 1, Signer: -1}); err == nil {
 		t.Fatal("negative signer accepted")
 	}
 	// Garbage aggregate.
-	if f.pool.AddNotarization(&types.Notarization{Round: 1, Proposer: 2, BlockHash: b.Hash(), Agg: []byte{1, 2}}) {
-		t.Fatal("garbage notarization accepted")
+	garbage := &types.Notarization{Round: 1, Proposer: 2, BlockHash: b.Hash(), Agg: []byte{1, 2}}
+	if _, err := f.pool.AddNotarization(garbage); !errors.Is(err, crypto.ErrBadAggregate) {
+		t.Fatalf("garbage notarization: err = %v", err)
 	}
 }
 
@@ -213,11 +220,15 @@ func TestDuplicatesIgnored(t *testing.T) {
 		t.Fatal("duplicate block handling wrong")
 	}
 	a := f.auth(b)
-	if !f.pool.AddAuthenticator(a) || f.pool.AddAuthenticator(a) {
+	if !added(f.pool.AddAuthenticator(a)) || added(f.pool.AddAuthenticator(a)) {
 		t.Fatal("duplicate authenticator handling wrong")
 	}
+	// A duplicate is a no-op, not a reject: no error either time.
+	if _, err := f.pool.AddAuthenticator(a); err != nil {
+		t.Fatalf("duplicate authenticator errored: %v", err)
+	}
 	s := f.nshare(b, 1)
-	if !f.pool.AddNotarizationShare(s) || f.pool.AddNotarizationShare(s) {
+	if !added(f.pool.AddNotarizationShare(s)) || added(f.pool.AddNotarizationShare(s)) {
 		t.Fatal("duplicate share handling wrong")
 	}
 }
@@ -227,7 +238,7 @@ func TestFinalizationFlow(t *testing.T) {
 	b := f.block(1, 0, f.pool.RootHash(), "x")
 	f.notarize(t, b)
 	for i := 0; i < 3; i++ {
-		if !f.pool.AddFinalizationShare(f.fshare(b, types.PartyID(i))) {
+		if !added(f.pool.AddFinalizationShare(f.fshare(b, types.PartyID(i)))) {
 			t.Fatal("finalization share rejected")
 		}
 	}
@@ -240,7 +251,7 @@ func TestFinalizationFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	fin := &types.Finalization{Round: 1, Proposer: 0, BlockHash: b.Hash(), Agg: agg.Encode()}
-	if !f.pool.AddFinalization(fin) {
+	if !added(f.pool.AddFinalization(fin)) {
 		t.Fatal("finalization rejected")
 	}
 	if !f.pool.IsFinalized(b.Hash()) {
@@ -309,15 +320,73 @@ func TestPrune(t *testing.T) {
 	}
 }
 
-func TestSkipAggregateVerify(t *testing.T) {
+func TestVerifyPolicies(t *testing.T) {
 	pub, _, err := keys.Deal(rand.Reader, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := New(pub, 0, Options{SkipAggregateVerify: true})
-	// A structurally garbage aggregate is admitted in this mode.
-	if !p.AddNotarization(&types.Notarization{Round: 1, Proposer: 0, BlockHash: hash.SumUint64(hash.DomainBlock, 1), Agg: []byte{0}}) {
-		t.Fatal("skip-verify pool rejected aggregate")
+	junkNz := func() *types.Notarization {
+		return &types.Notarization{Round: 1, Proposer: 0, BlockHash: hash.SumUint64(hash.DomainBlock, 1), Agg: []byte{0}}
+	}
+	// SharesOnly admits a cryptographically garbage aggregate (the former
+	// SkipAggregateVerify behaviour for honest-only simulations).
+	p := New(pub, 0, Options{Policy: VerifySharesOnly})
+	if !added(p.AddNotarization(junkNz())) {
+		t.Fatal("shares-only pool rejected aggregate")
+	}
+	// Full rejects the same aggregate.
+	p = New(pub, 0, Options{Policy: VerifyFull})
+	if _, err := p.AddNotarization(junkNz()); !errors.Is(err, crypto.ErrBadAggregate) {
+		t.Fatalf("full-verify pool admitted garbage aggregate: err = %v", err)
+	}
+	// PreVerified admits unsigned shares too, but still rejects
+	// structurally malformed input.
+	p = New(pub, 0, Options{Policy: VerifyPreVerified})
+	if !added(p.AddNotarizationShare(&types.NotarizationShare{Round: 1, Signer: 2})) {
+		t.Fatal("pre-verified pool rejected unsigned share")
+	}
+	if _, err := p.AddNotarizationShare(&types.NotarizationShare{Round: 1, Signer: 9}); err == nil {
+		t.Fatal("pre-verified pool admitted out-of-range signer")
+	}
+}
+
+// stubVerifier counts calls and rejects everything, proving the pool
+// consults an injected Verifier rather than its default.
+type stubVerifier struct {
+	calls int
+	err   error
+}
+
+func (s *stubVerifier) Authenticator(*types.Authenticator) error         { s.calls++; return s.err }
+func (s *stubVerifier) NotarizationShare(*types.NotarizationShare) error { s.calls++; return s.err }
+func (s *stubVerifier) Notarization(*types.Notarization) error           { s.calls++; return s.err }
+func (s *stubVerifier) FinalizationShare(*types.FinalizationShare) error { s.calls++; return s.err }
+func (s *stubVerifier) Finalization(*types.Finalization) error           { s.calls++; return s.err }
+
+func TestInjectedVerifier(t *testing.T) {
+	f := newFixture(t, 4)
+	sv := &stubVerifier{err: crypto.ErrBadSignature}
+	p := New(f.pub, 0, Options{Verifier: sv})
+	b := f.block(1, 2, f.pool.RootHash(), "x")
+	p.AddBlock(b)
+	if _, err := p.AddAuthenticator(f.auth(b)); !errors.Is(err, crypto.ErrBadSignature) {
+		t.Fatalf("injected verifier not consulted: err = %v", err)
+	}
+	if sv.calls != 1 {
+		t.Fatalf("verifier calls = %d, want 1", sv.calls)
+	}
+	// Duplicate suppression runs before the verifier: a second copy of an
+	// admitted artifact must not hit the verifier again.
+	sv.err = nil
+	if !added(p.AddAuthenticator(f.auth(b))) {
+		t.Fatal("authenticator rejected by permissive verifier")
+	}
+	calls := sv.calls
+	if added(p.AddAuthenticator(f.auth(b))) {
+		t.Fatal("duplicate authenticator admitted twice")
+	}
+	if sv.calls != calls {
+		t.Fatal("duplicate authenticator re-verified")
 	}
 }
 
@@ -331,13 +400,13 @@ func TestShareRoundMismatchRejected(t *testing.T) {
 	s.Round = 2
 	msg := types.SigningBytes(2, b.Proposer, b.Hash())
 	s.Sig = f.privs[1].Notary.Sign(types.DomainNotarization, msg).Signature
-	if f.pool.AddNotarizationShare(s) {
-		t.Fatal("round-mismatched notarization share admitted")
+	if _, err := f.pool.AddNotarizationShare(s); !errors.Is(err, crypto.Mismatch) {
+		t.Fatalf("round-mismatched notarization share: err = %v", err)
 	}
 	fs := f.fshare(b, 1)
 	fs.Round = 2
 	fs.Sig = f.privs[1].Final.Sign(types.DomainFinalization, msg).Signature
-	if f.pool.AddFinalizationShare(fs) {
-		t.Fatal("round-mismatched finalization share admitted")
+	if _, err := f.pool.AddFinalizationShare(fs); !errors.Is(err, crypto.Mismatch) {
+		t.Fatalf("round-mismatched finalization share: err = %v", err)
 	}
 }

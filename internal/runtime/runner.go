@@ -14,6 +14,7 @@ import (
 	"icc/internal/obs"
 	"icc/internal/transport"
 	"icc/internal/types"
+	"icc/internal/verify"
 )
 
 // Runner drives one engine.
@@ -24,6 +25,7 @@ type Runner struct {
 	n     int
 	stats *metrics.TransportStats
 	obs   *obs.Observer
+	pipe  *verify.Pipeline
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -51,21 +53,41 @@ func (r *Runner) SetTransportStats(s *metrics.TransportStats) { r.stats = s }
 // Start. A nil observer is a no-op.
 func (r *Runner) SetObserver(ob *obs.Observer) { r.obs = ob }
 
+// SetVerifyPipeline interposes a parallel verification pipeline between
+// the transport inbox and the engine: inbound envelopes are handed to
+// the pipeline's workers, and only verified envelopes reach
+// HandleMessage. The engine's pool should then run pool.VerifyPreVerified
+// so signatures are not checked twice. Call before Start; the runner
+// closes the pipeline on Stop. A nil pipeline keeps the synchronous
+// path (the engine verifies inline).
+func (r *Runner) SetVerifyPipeline(p *verify.Pipeline) { r.pipe = p }
+
 // Start launches the event loop.
 func (r *Runner) Start() {
 	r.wg.Add(1)
 	go r.loop()
 }
 
-// Stop terminates the loop and waits for it to exit.
+// Stop terminates the loop, waits for it to exit, and closes the
+// verification pipeline if one is attached.
 func (r *Runner) Stop() {
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.wg.Wait()
+	if r.pipe != nil {
+		r.pipe.Close()
+	}
 }
 
 func (r *Runner) loop() {
 	defer r.wg.Done()
 	r.send(r.eng.Init(r.clk.Now()))
+
+	// With a pipeline, raw envelopes detour through the worker pool and
+	// come back on verified; without one they are handled inline.
+	var verified <-chan transport.Envelope
+	if r.pipe != nil {
+		verified = r.pipe.Out()
+	}
 
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
@@ -78,6 +100,27 @@ func (r *Runner) loop() {
 			if !ok {
 				return
 			}
+			if r.pipe != nil {
+				// Never block on a full submission queue: this loop is
+				// also the sole drain of the verified channel, so it
+				// must keep consuming while it waits for queue space.
+				for !r.pipe.TrySubmit(env) {
+					if r.pipe.Closed() {
+						return
+					}
+					select {
+					case <-r.stop:
+						return
+					case v := <-verified:
+						r.obs.MessageReceived()
+						r.send(r.eng.HandleMessage(v.From, v.Msg, r.clk.Now()))
+					}
+				}
+				continue
+			}
+			r.obs.MessageReceived()
+			r.send(r.eng.HandleMessage(env.From, env.Msg, r.clk.Now()))
+		case env := <-verified:
 			r.obs.MessageReceived()
 			r.send(r.eng.HandleMessage(env.From, env.Msg, r.clk.Now()))
 		case <-timer.C:

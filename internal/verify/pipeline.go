@@ -1,0 +1,325 @@
+// Package verify implements the parallel verification pipeline that
+// sits between a runtime transport inbox and the sequential consensus
+// engine. Signature checking dominates the engine's critical path under
+// load — every inbound authenticator, share, and quorum aggregate costs
+// an ed25519 verification — yet it is stateless and embarrassingly
+// parallel. The pipeline moves that work onto a pool of workers so the
+// single-threaded engine (which the determinism argument of DESIGN.md
+// depends on) only ever handles pre-verified input.
+//
+// Ordering: workers complete out of order, so two messages from the
+// same peer may reach the engine reordered. The ICC protocols are
+// insensitive to this — every artifact is a self-contained addition to
+// a monotone pool, and the paper's network model (§1) already delivers
+// with arbitrary per-link delay. The simulation harness keeps the
+// synchronous in-engine verification path precisely because its
+// determinism contract is stronger than the live runtime's.
+//
+// Beacon shares pass through unverified by design: checking a share for
+// round k needs the round-(k−1) beacon value, which only the engine
+// tracks, and beacon.Combine verifies lazily at threshold (t+1 shares)
+// anyway.
+package verify
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"icc/internal/crypto"
+	"icc/internal/crypto/hash"
+	"icc/internal/obs"
+	"icc/internal/pool"
+	"icc/internal/transport"
+	"icc/internal/types"
+)
+
+// Options tunes a Pipeline. The zero value selects sensible defaults.
+type Options struct {
+	// Workers is the number of verification goroutines; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the submission queue (0 → 4×Workers, min 64).
+	// A full queue makes Submit block, applying backpressure to the
+	// transport reader rather than buffering without bound.
+	QueueSize int
+	// CacheSize bounds the verified-digest cache (0 → 8192, negative →
+	// disabled). The cache makes re-gossiped and resync'd artifacts
+	// free: an artifact that verified once is admitted on digest match
+	// without re-running its signature checks.
+	CacheSize int
+	// Registry receives the pipeline's instruments (nil → none).
+	Registry *obs.Registry
+	// OnReject, if set, observes every artifact the pipeline drops,
+	// with the claimed sender and the internal/crypto reason label.
+	OnReject func(from types.PartyID, reason string)
+}
+
+// Pipeline verifies inbound envelopes on a worker pool. Create with
+// New, feed with Submit, consume verified envelopes from Out, and
+// Close when done. All methods are safe for concurrent use; Submit and
+// Out are safe against a concurrent Close.
+type Pipeline struct {
+	verifier pool.Verifier
+	in       chan transport.Envelope
+	out      chan transport.Envelope
+	done     chan struct{}
+	wg       sync.WaitGroup
+	once     sync.Once
+
+	cache *digestCache
+
+	onReject func(from types.PartyID, reason string)
+
+	queueDepth *obs.Gauge
+	latency    *obs.Histogram
+	verified   *obs.Counter
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	rejects    *obs.CounterVec
+}
+
+// New builds and starts a pipeline verifying against v — typically
+// pool.NewVerifier(pub, pool.VerifyFull). v must be safe for concurrent
+// use.
+func New(v pool.Verifier, opts Options) *Pipeline {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queue := opts.QueueSize
+	if queue <= 0 {
+		queue = 4 * workers
+		if queue < 64 {
+			queue = 64
+		}
+	}
+	p := &Pipeline{
+		verifier: v,
+		in:       make(chan transport.Envelope, queue),
+		out:      make(chan transport.Envelope, queue),
+		done:     make(chan struct{}),
+		cache:    newDigestCache(opts.CacheSize),
+		onReject: opts.OnReject,
+	}
+	if reg := opts.Registry; reg != nil {
+		p.queueDepth = reg.Gauge("icc_verify_queue_depth", "Envelopes waiting for a verification worker.")
+		p.latency = reg.Histogram("icc_verify_latency_seconds", "Per-envelope verification latency.", nil)
+		p.verified = reg.Counter("icc_verify_verified_total", "Artifacts that passed signature verification.")
+		p.cacheHits = reg.Counter("icc_verify_cache_hits_total", "Artifacts admitted from the verified-digest cache.")
+		p.cacheMiss = reg.Counter("icc_verify_cache_misses_total", "Artifacts that required fresh verification.")
+		p.rejects = reg.CounterVec("icc_verify_rejects_total", "Inbound artifacts rejected at admission, by reason.", "reason")
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit queues one envelope for verification. It blocks when the queue
+// is full (backpressure) and reports false once the pipeline is closed.
+// A caller that is also the sole consumer of Out must use TrySubmit
+// and drain Out between attempts instead — blocking here while workers
+// block on a full Out channel would deadlock.
+func (p *Pipeline) Submit(env transport.Envelope) bool {
+	select {
+	case p.in <- env:
+		p.queueDepth.Add(1)
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// TrySubmit queues one envelope without blocking. It reports false when
+// the queue is full or the pipeline is closed (distinguish with Closed).
+func (p *Pipeline) TrySubmit(env transport.Envelope) bool {
+	select {
+	case p.in <- env:
+		p.queueDepth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Closed reports whether Close has been called.
+func (p *Pipeline) Closed() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Out delivers verified envelopes. An envelope whose every artifact was
+// rejected never appears here.
+func (p *Pipeline) Out() <-chan transport.Envelope { return p.out }
+
+// Close stops the workers and releases the pipeline. In-flight
+// envelopes may be dropped; the consensus layer tolerates message loss
+// by design (resync). Safe to call more than once.
+func (p *Pipeline) Close() {
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case env := <-p.in:
+			p.queueDepth.Add(-1)
+			start := time.Now()
+			msg, ok := p.process(env.From, env.Msg)
+			p.latency.Observe(time.Since(start).Seconds())
+			if !ok {
+				continue
+			}
+			select {
+			case p.out <- transport.Envelope{From: env.From, Msg: msg}:
+			case <-p.done:
+				return
+			}
+		}
+	}
+}
+
+// process verifies one message, returning the (possibly filtered)
+// message to deliver and whether to deliver it at all.
+func (p *Pipeline) process(from types.PartyID, m types.Message) (types.Message, bool) {
+	switch v := m.(type) {
+	case *types.Bundle:
+		kept := make([]types.Message, 0, len(v.Messages))
+		for _, sub := range v.Messages {
+			if s, ok := p.process(from, sub); ok {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, false
+		}
+		return &types.Bundle{Messages: kept}, true
+	case *types.Authenticator, *types.NotarizationShare, *types.Notarization,
+		*types.FinalizationShare, *types.Finalization:
+		if err := p.checkCached(m); err != nil {
+			p.reject(from, err)
+			return nil, false
+		}
+		return m, true
+	default:
+		// Blocks carry no signature of their own (the authenticator
+		// does); beacon shares verify lazily in beacon.Combine; the
+		// remaining kinds (status, gossip, RBC) are control traffic for
+		// layers with their own validation.
+		return m, true
+	}
+}
+
+// checkCached verifies one signed artifact, consulting the verified-
+// digest cache first. Only successful verifications are cached, keyed
+// by the hash of the artifact's canonical encoding — a byte-identical
+// redelivery is admitted without touching the verifier.
+func (p *Pipeline) checkCached(m types.Message) error {
+	var key hash.Digest
+	if p.cache != nil {
+		key = hash.Sum(hash.DomainPayload, types.Marshal(m))
+		if p.cache.contains(key) {
+			p.cacheHits.Inc()
+			return nil
+		}
+	}
+	if err := p.check(m); err != nil {
+		p.cacheMiss.Inc()
+		return err
+	}
+	p.cacheMiss.Inc()
+	p.verified.Inc()
+	if p.cache != nil {
+		p.cache.insert(key)
+	}
+	return nil
+}
+
+func (p *Pipeline) check(m types.Message) error {
+	switch v := m.(type) {
+	case *types.Authenticator:
+		return p.verifier.Authenticator(v)
+	case *types.NotarizationShare:
+		return p.verifier.NotarizationShare(v)
+	case *types.Notarization:
+		return p.verifier.Notarization(v)
+	case *types.FinalizationShare:
+		return p.verifier.FinalizationShare(v)
+	case *types.Finalization:
+		return p.verifier.Finalization(v)
+	default:
+		return nil
+	}
+}
+
+func (p *Pipeline) reject(from types.PartyID, err error) {
+	reason := crypto.Reason(err)
+	p.rejects.With(reason).Inc()
+	if p.onReject != nil {
+		p.onReject(from, reason)
+	}
+}
+
+// digestCache is a bounded FIFO set of verified artifact digests.
+// Sized so the working set (the last few rounds of shares and
+// aggregates from every peer) stays resident; under churn the oldest
+// entries fall out first, which at worst costs a re-verification.
+type digestCache struct {
+	mu    sync.Mutex
+	set   map[hash.Digest]struct{}
+	order []hash.Digest // ring buffer of insertion order
+	next  int           // next slot to overwrite once full
+}
+
+func newDigestCache(size int) *digestCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = 8192
+	}
+	return &digestCache{
+		set:   make(map[hash.Digest]struct{}, size),
+		order: make([]hash.Digest, 0, size),
+	}
+}
+
+func (c *digestCache) contains(d hash.Digest) bool {
+	c.mu.Lock()
+	_, ok := c.set[d]
+	c.mu.Unlock()
+	return ok
+}
+
+func (c *digestCache) insert(d hash.Digest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.set[d]; ok {
+		return
+	}
+	if len(c.order) < cap(c.order) {
+		c.order = append(c.order, d)
+	} else {
+		delete(c.set, c.order[c.next])
+		c.order[c.next] = d
+		c.next = (c.next + 1) % len(c.order)
+	}
+	c.set[d] = struct{}{}
+}
+
+// Len reports the number of cached digests (for tests).
+func (c *digestCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.set)
+}
