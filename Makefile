@@ -9,14 +9,14 @@ test:
 	$(GO) test ./...
 
 # Tier-1 verify: the invariant every PR must keep green.
-verify: build test
+verify: build vet test
 
 vet:
 	$(GO) vet ./...
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/...
 
 # Regenerate the evaluation tables and record a machine-readable
 # BENCH_<timestamp>.json snapshot in the repo root.

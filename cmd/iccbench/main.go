@@ -37,6 +37,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"weakadaptive":   experiments.WeakAdaptiveAdversary,
 	"fragility":      experiments.PBFTFragility,
 	"verifypipeline": experiments.VerifyPipeline,
+	"catchup":        experiments.Catchup,
 }
 
 // benchSummary is the machine-readable run record written by -json, so

@@ -24,6 +24,8 @@ import (
 	"syscall"
 	"time"
 
+	"icc/internal/backfill"
+	"icc/internal/beacon"
 	"icc/internal/clock"
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
@@ -51,6 +53,11 @@ func main() {
 		// worker pool so the sequential engine handles pre-verified input.
 		verifyWorkers = flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS, negative = verify inline on the engine loop)")
 		verifyCache   = flag.Int("verify-cache", 0, "verified-digest cache capacity (0 = default 8192, negative = disabled)")
+
+		// Catch-up backfill: beacon shares for lagging peers that miss the
+		// own-share cache are signed off the engine loop.
+		backfillWorkers = flag.Int("backfill-workers", 0, "catch-up share signing worker count (0 = 1 worker, negative = sign inline on the engine loop)")
+		shareCache      = flag.Int("share-cache", 0, "beacon own-share cache capacity (0 = default 1024, negative = disabled)")
 
 		// Observability: one HTTP server exposing Prometheus metrics, a
 		// commit-recency health probe, the protocol event trace, and pprof.
@@ -81,6 +88,8 @@ func main() {
 		traceCap:      *traceCap,
 		verifyWorkers: *verifyWorkers,
 		verifyCache:   *verifyCache,
+		bfillWorkers:  *backfillWorkers,
+		shareCache:    *shareCache,
 		plan: transport.FaultPlan{
 			Seed:        *chaosSeed,
 			DropRate:    *chaosDrop,
@@ -110,6 +119,8 @@ type nodeConfig struct {
 	traceCap      int
 	verifyWorkers int
 	verifyCache   int
+	bfillWorkers  int
+	shareCache    int
 	plan          transport.FaultPlan
 }
 
@@ -181,10 +192,25 @@ func run(cfg nodeConfig) error {
 	if cfg.verifyWorkers < 0 {
 		policy = pool.VerifyFull
 	}
+	// Explicit beacon so the engine and the backfill worker share one
+	// concurrency-safe instance. The worker sends through ep — the chaos
+	// wrapper when enabled — so injected faults hit backfill traffic too.
+	bcn := beacon.New(pub.Beacon, priv.Beacon, types.PartyID(self), pub.GenesisSeed)
+	if cfg.shareCache != 0 {
+		bcn.SetShareCacheSize(cfg.shareCache)
+	}
+	var bfw *backfill.Worker
+	var provider core.CatchupProvider
+	if cfg.bfillWorkers >= 0 {
+		bfw = backfill.New(bcn, ep, backfill.Options{Workers: cfg.bfillWorkers, Registry: reg})
+		provider = bfw
+	}
 	eng := core.NewEngine(core.Config{
 		Self:       types.PartyID(self),
 		Keys:       pub,
 		Priv:       *priv,
+		Beacon:     bcn,
+		Catchup:    provider,
 		DeltaBound: cfg.bound,
 		Epsilon:    cfg.epsilon,
 		Payload:    queue,
@@ -205,6 +231,7 @@ func run(cfg nodeConfig) error {
 	runner := runtime.NewRunner(eng, ep, clock.NewWall(), pub.N)
 	runner.SetTransportStats(stats)
 	runner.SetObserver(ob)
+	runner.SetBackfillWorker(bfw)
 	if cfg.verifyWorkers >= 0 {
 		runner.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
 			Workers:   cfg.verifyWorkers,

@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"icc/internal/adversary"
+	"icc/internal/backfill"
+	"icc/internal/beacon"
 	"icc/internal/clock"
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
@@ -123,6 +125,17 @@ type Options struct {
 	// and resync'd artifacts whose digests are cached skip signature
 	// re-verification.
 	VerifyCacheSize int
+	// BackfillWorkers sizes each party's async catch-up signer: beacon
+	// shares a laggard needs that miss the own-share cache are signed on
+	// these worker goroutines instead of the engine loop. 0 (default)
+	// uses one worker; a negative value disables the async path (the
+	// engine signs inline in handleStatus — the pre-refactor behaviour).
+	BackfillWorkers int
+	// ShareCacheSize bounds each party's beacon own-share cache
+	// (default beacon.DefaultShareCacheSize = 1024 shares; negative
+	// disables caching, forcing every catch-up share onto the backfill
+	// workers or, with those disabled too, back inline).
+	ShareCacheSize int
 }
 
 // Option mutates Options.
@@ -167,6 +180,15 @@ func WithVerifyWorkers(n int) Option { return func(o *Options) { o.VerifyWorkers
 // WithVerifyCacheSize bounds the per-party verified-digest cache
 // (0 = default 8192; negative = no cache).
 func WithVerifyCacheSize(n int) Option { return func(o *Options) { o.VerifyCacheSize = n } }
+
+// WithBackfillWorkers sizes the per-party async catch-up signer
+// (0 = one worker; negative = sign catch-up shares inline on the engine
+// loop).
+func WithBackfillWorkers(n int) Option { return func(o *Options) { o.BackfillWorkers = n } }
+
+// WithShareCacheSize bounds the per-party beacon own-share cache
+// (0 = default 1024; negative = no cache).
+func WithShareCacheSize(n int) Option { return func(o *Options) { o.ShareCacheSize = n } }
 
 // validate rejects nonsensical option values up front, so misconfigured
 // clusters fail loudly at construction instead of hanging at runtime.
@@ -297,10 +319,28 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		if o.VerifyWorkers < 0 {
 			policy = pool.VerifyFull
 		}
+		// The beacon is built here rather than inside core.Config so the
+		// engine loop and the backfill worker share one instance (it is
+		// safe for concurrent use); the own-share cache makes catch-up
+		// shares for normally-traversed rounds free.
+		bcn := beacon.New(pub.Beacon, privs[i].Beacon, types.PartyID(i), pub.GenesisSeed)
+		if o.ShareCacheSize != 0 {
+			bcn.SetShareCacheSize(o.ShareCacheSize)
+		}
+		ep := c.hub.Endpoint(types.PartyID(i))
+		var bfw *backfill.Worker
+		if o.BackfillWorkers >= 0 {
+			bfw = backfill.New(bcn, ep, backfill.Options{
+				Workers:  o.BackfillWorkers,
+				Registry: reg,
+			})
+		}
 		inner := core.NewEngine(core.Config{
 			Self:       types.PartyID(i),
 			Keys:       pub,
 			Priv:       privs[i],
+			Beacon:     bcn,
+			Catchup:    asProvider(bfw),
 			DeltaBound: o.DeltaBound,
 			Epsilon:    o.Epsilon,
 			Payload:    c.queues[i],
@@ -326,9 +366,10 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		case ICC2:
 			eng = rbc.Wrap(rbc.Config{Self: types.PartyID(i), N: n}, eng)
 		}
-		r := runtime.NewRunner(eng, c.hub.Endpoint(types.PartyID(i)), clk, n)
+		r := runtime.NewRunner(eng, ep, clk, n)
 		r.SetTransportStats(c.stats)
 		r.SetObserver(ob)
+		r.SetBackfillWorker(bfw)
 		if o.VerifyWorkers >= 0 {
 			r.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
 				Workers:   o.VerifyWorkers,
@@ -339,6 +380,16 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		c.rnrs = append(c.rnrs, r)
 	}
 	return c, nil
+}
+
+// asProvider converts a possibly-nil worker into the engine's provider
+// field without smuggling a typed-nil interface (which would defeat the
+// engine's nil check and break the synchronous fallback).
+func asProvider(w *backfill.Worker) core.CatchupProvider {
+	if w == nil {
+		return nil
+	}
+	return w
 }
 
 // defaultFanout mirrors the harness default: ≈ 2·log₂(n) + 2.

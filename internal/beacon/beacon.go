@@ -11,19 +11,30 @@ package beacon
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
+	"sync"
 
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/thresig"
 	"icc/internal/types"
 )
 
-// Beacon tracks beacon values and shares for one party.
-// It is not safe for concurrent use; the engine serialises access.
+// ErrPruned reports that a share was requested for a round the beacon
+// has already pruned. Once Prune(before) runs, share material below the
+// watermark is gone by contract; re-signing it would quietly resurrect
+// state the caller asked to discard, so requests fail typed instead.
+var ErrPruned = errors.New("beacon: round pruned")
+
+// Beacon tracks beacon values and shares for one party. It is safe for
+// concurrent use: the engine event loop and the runtime backfill worker
+// (which signs catch-up shares off that loop) share one instance.
 type Beacon struct {
 	pub  *thresig.PublicInfo
 	sk   thresig.SecretShare
 	self types.PartyID
+
+	mu sync.Mutex
 
 	// values[k] is R_k's signature; the genesis entry (k=0) is a fixed
 	// pseudo-signature derived from the genesis seed.
@@ -36,6 +47,13 @@ type Beacon struct {
 	shares map[types.Round]map[types.PartyID]*thresig.SigShare
 	// perms caches round permutations.
 	perms map[types.Round][]types.PartyID
+
+	// own caches this party's signed shares so stall re-broadcasts and
+	// catch-up batches never repeat the EC scalar multiplication.
+	own *shareCache
+	// prunedBefore is the Prune watermark: own-share requests below it
+	// fail with ErrPruned instead of re-signing discarded material.
+	prunedBefore types.Round
 
 	genesis hash.Digest
 }
@@ -51,14 +69,24 @@ func New(pub *thresig.PublicInfo, sk thresig.SecretShare, self types.PartyID, ge
 		digests: make(map[types.Round]hash.Digest),
 		shares:  make(map[types.Round]map[types.PartyID]*thresig.SigShare),
 		perms:   make(map[types.Round][]types.PartyID),
+		own:     newShareCache(0),
 		genesis: hash.Sum(hash.DomainBeacon, genesisSeed),
 	}
 	b.digests[0] = b.genesis
 	return b
 }
 
+// SetShareCacheSize resizes the own-share cache: 0 selects
+// DefaultShareCacheSize, negative disables caching. Call before the
+// beacon is shared across goroutines; existing entries are discarded.
+func (b *Beacon) SetShareCacheSize(n int) {
+	b.mu.Lock()
+	b.own = newShareCache(n)
+	b.mu.Unlock()
+}
+
 // message returns the byte string the round-k beacon signs: (k, R_{k−1}).
-// Returns false if R_{k−1} is not yet known.
+// Returns false if R_{k−1} is not yet known. Caller holds b.mu.
 func (b *Beacon) message(k types.Round) ([]byte, bool) {
 	if k == 0 {
 		return nil, false
@@ -73,18 +101,51 @@ func (b *Beacon) message(k types.Round) ([]byte, bool) {
 	return e.Bytes(), true
 }
 
-// ShareForRound produces this party's share of the round-k beacon.
-// It fails if R_{k−1} is not yet known.
+// ShareForRound produces this party's share of the round-k beacon,
+// consulting the own-share cache first and caching fresh signatures. It
+// fails if R_{k−1} is not yet known, and with ErrPruned if round k is
+// below the prune watermark.
 func (b *Beacon) ShareForRound(k types.Round) (*types.BeaconShare, error) {
+	b.mu.Lock()
+	if k < b.prunedBefore {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("beacon: share for round %d: %w", k, ErrPruned)
+	}
+	if sh, ok := b.own.get(k); ok {
+		b.mu.Unlock()
+		return sh, nil
+	}
 	msg, ok := b.message(k)
+	b.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("beacon: R_%d not yet known, cannot sign R_%d", k-1, k)
 	}
+	// Sign outside the lock: the scalar multiplication takes milliseconds
+	// and must not stall concurrent beacon readers (the engine loop).
 	share, err := thresig.Sign(rand.Reader, b.sk, msg)
 	if err != nil {
 		return nil, fmt.Errorf("beacon: signing share: %w", err)
 	}
-	return &types.BeaconShare{Round: k, Signer: b.self, Share: share.Encode()}, nil
+	sh := &types.BeaconShare{Round: k, Signer: b.self, Share: share.Encode()}
+	b.mu.Lock()
+	if k >= b.prunedBefore {
+		b.own.put(k, sh)
+	}
+	b.mu.Unlock()
+	return sh, nil
+}
+
+// CachedShareForRound returns this party's round-k share only if it is
+// already cached — it never signs. The engine uses it to keep catch-up
+// responses cheap: cache hits travel inline, misses are deferred to the
+// async backfill path.
+func (b *Beacon) CachedShareForRound(k types.Round) (*types.BeaconShare, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if k < b.prunedBefore {
+		return nil, false
+	}
+	return b.own.get(k)
 }
 
 // AddShare records a received share. Verification is deferred to Reveal
@@ -101,6 +162,8 @@ func (b *Beacon) AddShare(s *types.BeaconShare) error {
 	if err != nil {
 		return fmt.Errorf("beacon: malformed share: %w", err)
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	m := b.shares[s.Round]
 	if m == nil {
 		m = make(map[types.PartyID]*thresig.SigShare)
@@ -115,10 +178,16 @@ func (b *Beacon) AddShare(s *types.BeaconShare) error {
 
 // ShareCount returns the number of (not yet verified) shares held for a
 // round.
-func (b *Beacon) ShareCount(k types.Round) int { return len(b.shares[k]) }
+func (b *Beacon) ShareCount(k types.Round) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.shares[k])
+}
 
 // Have reports whether R_k is known.
 func (b *Beacon) Have(k types.Round) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	_, ok := b.digests[k]
 	return ok
 }
@@ -127,6 +196,8 @@ func (b *Beacon) Have(k types.Round) bool {
 // digest H(R_k) and true on success. Invalid shares are discarded in the
 // process (combining verifies each share against the public material).
 func (b *Beacon) Reveal(k types.Round) (hash.Digest, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if d, ok := b.digests[k]; ok {
 		return d, true
 	}
@@ -157,6 +228,8 @@ func (b *Beacon) Reveal(k types.Round) (hash.Digest, bool) {
 
 // Digest returns H(R_k) if known.
 func (b *Beacon) Digest(k types.Round) (hash.Digest, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	d, ok := b.digests[k]
 	return d, ok
 }
@@ -166,6 +239,12 @@ func (b *Beacon) Digest(k types.Round) (hash.Digest, bool) {
 // shuffle seeded by H(R_k), so every party that knows R_k derives the
 // same ranking (paper §3.3).
 func (b *Beacon) Permutation(k types.Round) ([]types.PartyID, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.permutationLocked(k)
+}
+
+func (b *Beacon) permutationLocked(k types.Round) ([]types.PartyID, bool) {
 	if p, ok := b.perms[k]; ok {
 		return p, true
 	}
@@ -180,7 +259,9 @@ func (b *Beacon) Permutation(k types.Round) ([]types.PartyID, bool) {
 
 // RankOf returns party p's rank in round k.
 func (b *Beacon) RankOf(k types.Round, p types.PartyID) (types.Rank, bool) {
-	perm, ok := b.Permutation(k)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	perm, ok := b.permutationLocked(k)
 	if !ok {
 		return 0, false
 	}
@@ -194,16 +275,21 @@ func (b *Beacon) RankOf(k types.Round, p types.PartyID) (types.Rank, bool) {
 
 // Leader returns the rank-0 party of round k.
 func (b *Beacon) Leader(k types.Round) (types.PartyID, bool) {
-	perm, ok := b.Permutation(k)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	perm, ok := b.permutationLocked(k)
 	if !ok {
 		return 0, false
 	}
 	return perm[0], true
 }
 
-// Prune discards share and permutation state for rounds before `before`.
-// Beacon digests are kept (they chain).
+// Prune discards share, permutation, and own-share state for rounds
+// before `before`, and raises the watermark below which own-share
+// requests fail with ErrPruned. Beacon digests are kept (they chain).
 func (b *Beacon) Prune(before types.Round) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for k := range b.shares {
 		if k < before {
 			delete(b.shares, k)
@@ -219,6 +305,18 @@ func (b *Beacon) Prune(before types.Round) {
 			delete(b.values, k)
 		}
 	}
+	b.own.pruneBefore(before)
+	if before > b.prunedBefore {
+		b.prunedBefore = before
+	}
+}
+
+// CachedShares reports the number of own shares currently cached (for
+// tests and capacity tuning).
+func (b *Beacon) CachedShares() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.own.len()
 }
 
 // PermutationFromDigest derives a permutation of [0, n) from a digest via

@@ -23,11 +23,13 @@ type BLS struct {
 	self types.PartyID
 	n    int
 
-	values  map[types.Round]*bls.Signature
-	digests map[types.Round]hash.Digest
-	shares  map[types.Round]map[types.PartyID]*bls.SigShare
-	perms   map[types.Round][]types.PartyID
-	genesis hash.Digest
+	values       map[types.Round]*bls.Signature
+	digests      map[types.Round]hash.Digest
+	shares       map[types.Round]map[types.PartyID]*bls.SigShare
+	perms        map[types.Round][]types.PartyID
+	own          *shareCache
+	prunedBefore types.Round
+	genesis      hash.Digest
 }
 
 // NewBLS creates a BLS-backed beacon for one party.
@@ -41,6 +43,7 @@ func NewBLS(pub *bls.ThresholdPublic, sk bls.ThresholdShareKey, self types.Party
 		digests: make(map[types.Round]hash.Digest),
 		shares:  make(map[types.Round]map[types.PartyID]*bls.SigShare),
 		perms:   make(map[types.Round][]types.PartyID),
+		own:     newShareCache(0),
 		genesis: hash.Sum(hash.DomainBeacon, genesisSeed),
 	}
 	b.digests[0] = b.genesis
@@ -61,14 +64,32 @@ func (b *BLS) message(k types.Round) ([]byte, bool) {
 	return e.Bytes(), true
 }
 
-// ShareForRound implements Source.
+// ShareForRound implements Source. Pairing arithmetic here is hundreds
+// of milliseconds per call, so hits on the own-share cache matter even
+// more than for the DLEQ backend.
 func (b *BLS) ShareForRound(k types.Round) (*types.BeaconShare, error) {
+	if k < b.prunedBefore {
+		return nil, fmt.Errorf("beacon: share for round %d: %w", k, ErrPruned)
+	}
+	if sh, ok := b.own.get(k); ok {
+		return sh, nil
+	}
 	msg, ok := b.message(k)
 	if !ok {
 		return nil, fmt.Errorf("beacon: R_%d not yet known, cannot sign R_%d", k-1, k)
 	}
 	share := b.sk.SignShare(msg)
-	return &types.BeaconShare{Round: k, Signer: b.self, Share: share.Sig.Point().Encode()}, nil
+	sh := &types.BeaconShare{Round: k, Signer: b.self, Share: share.Sig.Point().Encode()}
+	b.own.put(k, sh)
+	return sh, nil
+}
+
+// CachedShareForRound implements Source.
+func (b *BLS) CachedShareForRound(k types.Round) (*types.BeaconShare, bool) {
+	if k < b.prunedBefore {
+		return nil, false
+	}
+	return b.own.get(k)
 }
 
 // AddShare implements Source; shares are structurally validated here and
@@ -200,6 +221,10 @@ func (b *BLS) Prune(before types.Round) {
 		if k < before {
 			delete(b.values, k)
 		}
+	}
+	b.own.pruneBefore(before)
+	if before > b.prunedBefore {
+		b.prunedBefore = before
 	}
 }
 

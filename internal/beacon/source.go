@@ -2,6 +2,7 @@ package beacon
 
 import (
 	"fmt"
+	"sync"
 
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/thresig"
@@ -16,8 +17,13 @@ import (
 // of the CPU cost (see DESIGN.md §5).
 type Source interface {
 	// ShareForRound produces this party's round-k beacon share. Fails if
-	// R_{k−1} is unknown.
+	// R_{k−1} is unknown, and with ErrPruned below the prune watermark.
 	ShareForRound(k types.Round) (*types.BeaconShare, error)
+	// CachedShareForRound returns the round-k share only if it is already
+	// cached; it never signs. The catch-up path uses it to decide which
+	// share rounds can be answered inline and which must be deferred to
+	// the async backfill worker.
+	CachedShareForRound(k types.Round) (*types.BeaconShare, bool)
 	// AddShare records a received share (self-shares included).
 	AddShare(s *types.BeaconShare) error
 	// ShareCount reports the number of shares held for round k.
@@ -44,7 +50,9 @@ var _ Source = (*Beacon)(nil)
 // carries placeholder share bytes sized like real threshold shares. It
 // keeps the protocol's observable behaviour — parties still wait for t+1
 // distinct shares before revealing a round's beacon, and beacon messages
-// have production sizes — but skips the elliptic-curve work.
+// have production sizes — but skips the elliptic-curve work. Like
+// *Beacon it is safe for concurrent use, so runtime tests can drive the
+// async backfill worker against it.
 //
 // It is NOT cryptographically secure (any party can predict every
 // future beacon value); it exists purely to scale honest-majority
@@ -52,10 +60,13 @@ var _ Source = (*Beacon)(nil)
 type Simulated struct {
 	n, threshold int
 	self         types.PartyID
-	digests      map[types.Round]hash.Digest
-	sharesSeen   map[types.Round]map[types.PartyID]struct{}
-	perms        map[types.Round][]types.PartyID
-	minRound     types.Round
+
+	mu         sync.Mutex
+	digests    map[types.Round]hash.Digest
+	sharesSeen map[types.Round]map[types.PartyID]struct{}
+	perms      map[types.Round][]types.PartyID
+	own        *shareCache
+	minRound   types.Round
 }
 
 // NewSimulated creates a simulated beacon for an n-party cluster.
@@ -67,9 +78,19 @@ func NewSimulated(n int, self types.PartyID, genesisSeed []byte) *Simulated {
 		digests:    make(map[types.Round]hash.Digest),
 		sharesSeen: make(map[types.Round]map[types.PartyID]struct{}),
 		perms:      make(map[types.Round][]types.PartyID),
+		own:        newShareCache(0),
 	}
 	s.digests[0] = hash.Sum(hash.DomainBeacon, genesisSeed)
 	return s
+}
+
+// SetShareCacheSize resizes the own-share cache (0 = default, negative =
+// disabled), discarding existing entries. Tests use tiny sizes to force
+// cache misses onto the async backfill path.
+func (s *Simulated) SetShareCacheSize(n int) {
+	s.mu.Lock()
+	s.own = newShareCache(n)
+	s.mu.Unlock()
 }
 
 // ShareForRound implements Source. The share bytes are a deterministic
@@ -78,10 +99,30 @@ func (s *Simulated) ShareForRound(k types.Round) (*types.BeaconShare, error) {
 	if k == 0 {
 		return nil, fmt.Errorf("beacon: share for genesis round")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k < s.minRound {
+		return nil, fmt.Errorf("beacon: share for round %d: %w", k, ErrPruned)
+	}
+	if sh, ok := s.own.get(k); ok {
+		return sh, nil
+	}
 	if _, ok := s.digests[k-1]; !ok {
 		return nil, fmt.Errorf("beacon: R_%d not yet known, cannot sign R_%d", k-1, k)
 	}
-	return &types.BeaconShare{Round: k, Signer: s.self, Share: make([]byte, thresig.SigShareLen)}, nil
+	sh := &types.BeaconShare{Round: k, Signer: s.self, Share: make([]byte, thresig.SigShareLen)}
+	s.own.put(k, sh)
+	return sh, nil
+}
+
+// CachedShareForRound implements Source.
+func (s *Simulated) CachedShareForRound(k types.Round) (*types.BeaconShare, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k < s.minRound {
+		return nil, false
+	}
+	return s.own.get(k)
 }
 
 // AddShare implements Source.
@@ -95,6 +136,8 @@ func (s *Simulated) AddShare(sh *types.BeaconShare) error {
 	if len(sh.Share) != thresig.SigShareLen {
 		return fmt.Errorf("beacon: malformed share")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := s.sharesSeen[sh.Round]
 	if m == nil {
 		m = make(map[types.PartyID]struct{})
@@ -105,11 +148,17 @@ func (s *Simulated) AddShare(sh *types.BeaconShare) error {
 }
 
 // ShareCount implements Source.
-func (s *Simulated) ShareCount(k types.Round) int { return len(s.sharesSeen[k]) }
+func (s *Simulated) ShareCount(k types.Round) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sharesSeen[k])
+}
 
 // Reveal implements Source: it succeeds once t+1 distinct shares were
 // seen and R_{k−1} is known, exactly like the real beacon.
 func (s *Simulated) Reveal(k types.Round) (hash.Digest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if d, ok := s.digests[k]; ok {
 		return d, true
 	}
@@ -128,18 +177,28 @@ func (s *Simulated) Reveal(k types.Round) (hash.Digest, bool) {
 
 // Have implements Source.
 func (s *Simulated) Have(k types.Round) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.digests[k]
 	return ok
 }
 
 // Digest implements Source.
 func (s *Simulated) Digest(k types.Round) (hash.Digest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d, ok := s.digests[k]
 	return d, ok
 }
 
 // Permutation implements Source.
 func (s *Simulated) Permutation(k types.Round) ([]types.PartyID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.permutationLocked(k)
+}
+
+func (s *Simulated) permutationLocked(k types.Round) ([]types.PartyID, bool) {
 	if p, ok := s.perms[k]; ok {
 		return p, true
 	}
@@ -154,7 +213,9 @@ func (s *Simulated) Permutation(k types.Round) ([]types.PartyID, bool) {
 
 // RankOf implements Source.
 func (s *Simulated) RankOf(k types.Round, p types.PartyID) (types.Rank, bool) {
-	perm, ok := s.Permutation(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	perm, ok := s.permutationLocked(k)
 	if !ok {
 		return 0, false
 	}
@@ -168,7 +229,9 @@ func (s *Simulated) RankOf(k types.Round, p types.PartyID) (types.Rank, bool) {
 
 // Leader implements Source.
 func (s *Simulated) Leader(k types.Round) (types.PartyID, bool) {
-	perm, ok := s.Permutation(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	perm, ok := s.permutationLocked(k)
 	if !ok {
 		return 0, false
 	}
@@ -177,6 +240,8 @@ func (s *Simulated) Leader(k types.Round) (types.PartyID, bool) {
 
 // Prune implements Source.
 func (s *Simulated) Prune(before types.Round) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for k := range s.sharesSeen {
 		if k < before {
 			delete(s.sharesSeen, k)
@@ -187,6 +252,7 @@ func (s *Simulated) Prune(before types.Round) {
 			delete(s.perms, k)
 		}
 	}
+	s.own.pruneBefore(before)
 	if before > s.minRound {
 		s.minRound = before
 	}

@@ -76,6 +76,12 @@ type Hooks struct {
 	// OnResync fires when the stall detector re-broadcasts the party's
 	// protocol frontier (resync.go).
 	OnResync func(k types.Round, now time.Duration)
+	// OnBackfill fires when the party answers a lagging peer's Status
+	// with a catch-up batch (catchup.go): inline is the number of beacon
+	// shares served from the own-share cache (or signed synchronously
+	// with no provider wired), deferred the number of share rounds
+	// enqueued to the async CatchupProvider.
+	OnBackfill func(peer types.PartyID, inline, deferred int, now time.Duration)
 	// OnRejectedMessage fires when an inbound artifact fails admission —
 	// a bad signature, share, or aggregate, or a structural mismatch
 	// against the pool. reason is one of the internal/crypto Reason*
@@ -146,6 +152,18 @@ type Config struct {
 	// lagging party repeats its Status as long as it stays behind, so a
 	// deep gap is closed batch by batch.
 	ResyncBatch int
+
+	// Catchup, if non-nil, signs catch-up beacon shares missing from the
+	// own-share cache off the engine loop (internal/backfill provides
+	// the production worker). Nil keeps signing synchronous inside
+	// handleStatus — the deterministic choice for simnet and harness.
+	Catchup CatchupProvider
+
+	// ShareCacheSize bounds the beacon own-share cache when the default
+	// beacon is constructed here (Beacon == nil): 0 selects
+	// beacon.DefaultShareCacheSize, negative disables caching. Callers
+	// passing their own Beacon configure the cache on it directly.
+	ShareCacheSize int
 }
 
 // withDefaults fills in derived fields.
@@ -166,7 +184,11 @@ func (c Config) withDefaults() Config {
 		c.Payload = EmptyPayload{}
 	}
 	if c.Beacon == nil {
-		c.Beacon = beacon.New(c.Keys.Beacon, c.Priv.Beacon, c.Self, c.Keys.GenesisSeed)
+		b := beacon.New(c.Keys.Beacon, c.Priv.Beacon, c.Self, c.Keys.GenesisSeed)
+		if c.ShareCacheSize != 0 {
+			b.SetShareCacheSize(c.ShareCacheSize)
+		}
+		c.Beacon = b
 	}
 	if c.AdaptiveMax == 0 {
 		c.AdaptiveMax = 6

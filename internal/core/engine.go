@@ -46,12 +46,12 @@ type Engine struct {
 	// round's beacon (instrumentation: OnBeaconRecovered timings).
 	waitSince time.Duration
 
-	// Resynchronisation state (resync.go).
+	// Resynchronisation state (resync.go, catchup.go).
 	resyncAt      time.Duration // next time a stalled round triggers a Status
 	statusSeq     uint64        // distinguishes successive Status emissions
 	finalSeen     types.Round   // highest round with a finalization in the pool
 	lastFinalHash hash.Digest   // block hash at kmax (zero until first commit)
-	backfilledAt  map[types.PartyID]time.Duration
+	catchup       *Catchup      // answers lagging peers' Status messages
 
 	out []engine.Output
 }
@@ -62,11 +62,11 @@ var _ engine.Engine = (*Engine)(nil)
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:          cfg,
-		pool:         pool.New(cfg.Keys, cfg.Self, cfg.Pool),
-		round:        1,
-		pending:      make(map[types.Round]struct{}),
-		backfilledAt: make(map[types.PartyID]time.Duration),
+		cfg:     cfg,
+		pool:    pool.New(cfg.Keys, cfg.Self, cfg.Pool),
+		round:   1,
+		pending: make(map[types.Round]struct{}),
+		catchup: newCatchup(cfg),
 	}
 	e.resetRoundState()
 	return e

@@ -65,6 +65,12 @@ func ObservedHooks(ob *obs.Observer, base Hooks) Hooks {
 				base.OnResync(k, now)
 			}
 		},
+		OnBackfill: func(peer types.PartyID, inline, deferred int, now time.Duration) {
+			ob.Backfill(int(peer), inline, deferred, now)
+			if base.OnBackfill != nil {
+				base.OnBackfill(peer, inline, deferred, now)
+			}
+		},
 		OnRejectedMessage: func(from types.PartyID, reason string) {
 			ob.RejectedMessage(reason)
 			if base.OnRejectedMessage != nil {

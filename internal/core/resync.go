@@ -38,6 +38,11 @@ import (
 //     pool finishes a round instantly — and repeats its Status while it
 //     remains behind, closing any gap batch by batch. Responses are
 //     rate-limited per requesting peer to one per ResyncInterval.
+//     Assembly is split (catchup.go): pool artifacts and cached beacon
+//     shares go out inline; share rounds missing from the own-share
+//     cache are enqueued to a CatchupProvider that signs them off the
+//     engine loop and unicasts them separately (or, with no provider,
+//     signed synchronously — the deterministic simnet/harness path).
 //
 // Everything travels as unicast bundles rather than broadcasts so that
 // content-addressed dissemination layers (gossip's seen-set) cannot
@@ -58,7 +63,17 @@ func (e *Engine) maybeResync(now time.Duration) {
 	}
 	e.resyncAt = now + e.cfg.ResyncInterval
 	e.statusSeq++
-	msgs := []types.Message{&types.Status{Round: e.round, Finalized: e.kmax, Seq: e.statusSeq}}
+	// Report the finalization frontier capped below the working round.
+	// After a jump-commit (tryCommitRound finalizing via a chain that
+	// reaches past the round being replayed) kmax can exceed round; a
+	// responder skips beacon shares for rounds ≤ Finalized (the laggard
+	// traversed those beacons), and an uncapped report would starve the
+	// beacon replay of the very shares it still needs.
+	fin := e.kmax
+	if fin >= e.round {
+		fin = e.round - 1
+	}
+	msgs := []types.Message{&types.Status{Round: e.round, Finalized: fin, Seq: e.statusSeq}}
 	// Our beacon shares for the current round and (once the round's own
 	// beacon is known) the next — the pipelined share of tryEnterRound
 	// may have been lost.
@@ -115,60 +130,11 @@ func (e *Engine) maybeResync(now time.Duration) {
 }
 
 // handleStatus answers a lagging peer's Status with a catch-up batch.
+// The heavy lifting lives in the Catchup component (catchup.go): the
+// engine clause only assembles the cheap inline bundle; uncached
+// beacon-share signing is deferred to the configured CatchupProvider.
 func (e *Engine) handleStatus(from types.PartyID, st *types.Status, now time.Duration) {
-	if e.cfg.ResyncInterval <= 0 {
-		return
+	if bundle := e.catchup.Respond(e.pool, from, st, e.round, e.lastFinalHash, now); bundle != nil {
+		e.out = append(e.out, engine.Unicast(from, bundle))
 	}
-	// Peers at most one round behind are healed by ordinary traffic and
-	// by the stall bundle itself; only answer real gaps.
-	if st.Round+1 >= e.round {
-		return
-	}
-	// Rate-limit per peer: a Byzantine party repeating Status must not
-	// turn us into a bandwidth amplifier.
-	if last, ok := e.backfilledAt[from]; ok && now < last+e.cfg.ResyncInterval {
-		return
-	}
-	e.backfilledAt[from] = now
-
-	end := e.round
-	if limit := st.Round + types.Round(e.cfg.ResyncBatch); end > limit {
-		end = limit
-	}
-	var msgs []types.Message
-	for k := st.Round; k <= end; k++ {
-		// Our own beacon share for k lets the laggard accumulate the
-		// t+1 distinct shares it needs to re-enter the round (every
-		// responding peer contributes one).
-		if sh, err := e.cfg.Beacon.ShareForRound(k); err == nil {
-			msgs = append(msgs, sh)
-		}
-		if k == end {
-			break // shares only for the boundary round
-		}
-		h, ok := e.pool.NotarizedInRound(k)
-		if !ok {
-			continue // pruned or unknown; the laggard will re-ask
-		}
-		if b := e.pool.Block(h); b != nil {
-			msgs = append(msgs, &types.BlockMsg{Block: b})
-		}
-		// The authenticator makes the block admissible (IsValid requires
-		// IsAuthentic); without it the notarization is inert.
-		if a := e.pool.Authenticator(h); a != nil {
-			msgs = append(msgs, a)
-		}
-		if nz := e.pool.Notarization(h); nz != nil {
-			msgs = append(msgs, nz)
-		}
-	}
-	if e.lastFinalHash != (hash.Digest{}) {
-		if f := e.pool.Finalization(e.lastFinalHash); f != nil {
-			msgs = append(msgs, f)
-		}
-	}
-	if len(msgs) == 0 {
-		return
-	}
-	e.out = append(e.out, engine.Unicast(from, &types.Bundle{Messages: msgs}))
 }

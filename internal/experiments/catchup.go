@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+
+	"icc/internal/backfill"
+	"icc/internal/beacon"
+	"icc/internal/clock"
+	"icc/internal/core"
+	"icc/internal/crypto/keys"
+	"icc/internal/pool"
+	rt "icc/internal/runtime"
+	"icc/internal/transport"
+	"icc/internal/types"
+	"icc/internal/verify"
+)
+
+// Catchup measures the async catch-up service (E9): a live cluster
+// with the real threshold beacon runs ahead, then a laggard joins from
+// round 1 with an empty pool. Responders must serve it the gap —
+// blocks, notarizations, and one beacon share per round. Three
+// configurations per gap:
+//
+//   - inline, no cache: the pre-refactor path. Every catch-up share is
+//     threshold-signed synchronously inside handleStatus, on the
+//     responder's engine loop (~4.5ms each; a 128-round batch stalls
+//     the loop for over half a second).
+//   - async, cold cache: a tiny own-share cache forces the signing onto
+//     the backfill worker goroutines; the engine loop only enqueues.
+//   - async, warm cache (production defaults): the 1024-entry cache
+//     retains the shares the responder signed on its way through those
+//     rounds, so catch-up batches are served from memory.
+//
+// Reported per configuration: the slow responder's commit rate in the
+// measurement window before the join (steady) and after it (catch-up),
+// and how long the laggard takes to converge past the frontier it saw
+// at join time. Wall-clock measurement, same caveats as E8.
+func Catchup(scale Scale) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "async catch-up: responder commit rate under laggard rejoin, laggard convergence",
+		Columns: []string{"gap", "configuration", "steady", "catch-up", "ratio", "converge"},
+		Notes: []string{
+			"real threshold beacon (a catch-up share costs one BLS-free threshold sign, ~ms); 4 parties, in-process transport",
+			"steady/catch-up: responder commits/s in the window before/after the laggard joins; ratio = steady/catch-up",
+			"converge: laggard commits past the join-time frontier; DNF = not within 5 min (laggard-side ingest bound, EXPERIMENTS.md)",
+		},
+	}
+	gaps := []int{50, 200, 500}
+	modes := []catchupMode{
+		{name: "inline, no cache", shareCache: -1, async: false},
+		{name: "async, cold cache", shareCache: 32, async: true},
+		{name: "async, warm cache", shareCache: 0, async: true},
+	}
+	for _, gap := range gaps {
+		g := scale.scaleInt(gap)
+		for _, m := range modes {
+			r := catchupRun(g, m)
+			converge := "DNF"
+			if !r.dnf {
+				converge = fmt.Sprintf("%.2fs", r.converge.Seconds())
+			}
+			ratio := "—"
+			if r.during > 0 {
+				ratio = fmt.Sprintf("%.1fx", r.steady/r.during)
+			}
+			t.AddRow(fmt.Sprintf("%d", g), m.name,
+				fmt.Sprintf("%.1f blk/s", r.steady),
+				fmt.Sprintf("%.1f blk/s", r.during),
+				ratio, converge)
+		}
+	}
+	return t
+}
+
+type catchupMode struct {
+	name       string
+	shareCache int // core.Config.ShareCacheSize semantics
+	async      bool
+}
+
+type catchupResult struct {
+	steady   float64 // responder commits/s before the join
+	during   float64 // responder commits/s after the join
+	converge time.Duration
+	dnf      bool
+}
+
+// catchupRun boots n−1 responders, lets them run `gap` rounds ahead,
+// then starts the last party cold and measures the rejoin.
+func catchupRun(gap int, mode catchupMode) catchupResult {
+	const (
+		n       = 4
+		laggard = 3
+	)
+	window := 3 * time.Second
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	hub := transport.NewInproc(n)
+	clk := clock.NewWall()
+
+	var mu sync.Mutex
+	commitAt := make([][]time.Time, n)
+	maxRound := make([]types.Round, n)
+
+	runners := make([]*rt.Runner, n)
+	for i := 0; i < n; i++ {
+		i := i
+		pid := types.PartyID(i)
+		bcn := beacon.New(pub.Beacon, privs[i].Beacon, pid, pub.GenesisSeed)
+		if mode.shareCache != 0 {
+			bcn.SetShareCacheSize(mode.shareCache)
+		}
+		ep := hub.Endpoint(pid)
+		var bfw *backfill.Worker
+		var provider core.CatchupProvider
+		if mode.async {
+			bfw = backfill.New(bcn, ep, backfill.Options{})
+			provider = bfw
+		}
+		eng := core.NewEngine(core.Config{
+			Self:       pid,
+			Keys:       pub,
+			Priv:       privs[i],
+			Beacon:     bcn,
+			Catchup: provider,
+			// Well above the cluster's per-round crypto cost so steady
+			// state has CPU headroom: the responders form an exact 3-of-3
+			// finalization quorum, and if the tempo saturates the machine
+			// the laggard's crypto-heavy replay starves their delay
+			// windows and every mode collapses alike. With headroom the
+			// measurement isolates what the refactor changes — whether the
+			// serve burst blocks the engine loop — instead of raw CPU
+			// contention.
+			DeltaBound: 25 * time.Millisecond,
+			Pool:       pool.Options{Policy: pool.VerifyPreVerified},
+			Hooks: core.Hooks{
+				OnCommit: func(b *types.Block, _ time.Duration) {
+					mu.Lock()
+					commitAt[i] = append(commitAt[i], time.Now())
+					if b.Round > maxRound[i] {
+						maxRound[i] = b.Round
+					}
+					mu.Unlock()
+				},
+			},
+		})
+		r := rt.NewRunner(eng, ep, clk, n)
+		r.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{}))
+		r.SetBackfillWorker(bfw)
+		runners[i] = r
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+		hub.Close()
+	}()
+
+	// Phase 1: responders build the gap.
+	for i := 0; i < n; i++ {
+		if i != laggard {
+			runners[i].Start()
+		}
+	}
+	frontier := func(i int) types.Round {
+		mu.Lock()
+		defer mu.Unlock()
+		return maxRound[i]
+	}
+	buildDeadline := time.Now().Add(3 * time.Minute)
+	for frontier(0) < types.Round(gap) {
+		if time.Now().After(buildDeadline) {
+			return catchupResult{dnf: true}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 2: the laggard joins cold — drop whatever its inbox buffered
+	// while it was "down", as a restarted process would have.
+	lagInbox := hub.Endpoint(types.PartyID(laggard)).Inbox()
+drain:
+	for {
+		select {
+		case <-lagInbox:
+		default:
+			break drain
+		}
+	}
+	joinAt := time.Now()
+	joinRound := frontier(0)
+	runners[laggard].Start()
+
+	// Generous: on one core a 500-round chain (4 ResyncBatch exchanges,
+	// ~1500 artifacts through the laggard's verify pipeline while live
+	// traffic competes) takes a few minutes.
+	converge, dnf := time.Duration(0), true
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		if frontier(laggard) >= joinRound {
+			converge, dnf = time.Since(joinAt), false
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Let the post-join measurement window complete.
+	if rem := window - time.Since(joinAt); rem > 0 {
+		time.Sleep(rem)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var before, during int
+	for _, at := range commitAt[0] {
+		switch {
+		case at.After(joinAt.Add(-window)) && at.Before(joinAt):
+			before++
+		case !at.Before(joinAt) && at.Before(joinAt.Add(window)):
+			during++
+		}
+	}
+	return catchupResult{
+		steady:   float64(before) / window.Seconds(),
+		during:   float64(during) / window.Seconds(),
+		converge: converge,
+		dnf:      dnf,
+	}
+}

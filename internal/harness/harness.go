@@ -193,6 +193,12 @@ func (c *Cluster) engineConfig(pid types.PartyID) core.Config {
 		Adaptive:   c.Opts.Adaptive,
 		PruneDepth: c.Opts.PruneDepth,
 		Pool:       pool.Options{Policy: c.Opts.Verify},
+		// No CatchupProvider: under the discrete-event simnet the engine
+		// signs catch-up beacon shares synchronously inside handleStatus.
+		// An async backfill worker would inject wall-clock goroutine
+		// scheduling into an otherwise deterministic simulation; the
+		// inline path keeps every run replayable. The async service is
+		// exercised by the runtime tests and the catchup experiment.
 		Hooks: core.Hooks{
 			OnCommit: func(b *types.Block, now time.Duration) {
 				c.mu.Lock()

@@ -99,6 +99,9 @@ type Observer struct {
 	commits        *Counter
 	commitBytes    *Counter
 	resyncs        *Counter
+	backfills      *Counter
+	backfillInline *Counter
+	backfillDefer  *Counter
 	msgsReceived   *Counter
 	ticks          *Counter
 	rejects        *CounterVec
@@ -149,6 +152,9 @@ func NewObserver(cfg ObserverConfig) *Observer {
 		commits:        reg.Counter("icc_blocks_committed_total", "Blocks output by the finalization subprotocol."),
 		commitBytes:    reg.Counter("icc_committed_payload_bytes_total", "Payload bytes across committed blocks."),
 		resyncs:        reg.Counter("icc_resyncs_total", "Stall-triggered resynchronisation broadcasts."),
+		backfills:      reg.Counter("icc_resync_backfill_responses_total", "Catch-up responses sent to lagging peers."),
+		backfillInline: reg.Counter("icc_resync_backfill_shares_inline_total", "Catch-up beacon shares answered inline (cache hit or synchronous signing)."),
+		backfillDefer:  reg.Counter("icc_resync_backfill_rounds_deferred_total", "Catch-up share rounds handed to the async backfill worker."),
 		msgsReceived:   reg.Counter("icc_runtime_messages_received_total", "Messages delivered to the engine event loop."),
 		ticks:          reg.Counter("icc_runtime_ticks_total", "Timer ticks delivered to the engine event loop."),
 		rejects:        reg.CounterVec("icc_verify_rejects_total", "Inbound artifacts rejected at admission, by reason.", "reason"),
@@ -278,6 +284,19 @@ func (o *Observer) Resync(k uint64, now time.Duration) {
 	}
 	o.resyncs.Inc()
 	o.trace(KindResync, k, "")
+}
+
+// Backfill records one catch-up response to a lagging peer: inline
+// beacon shares answered on the spot, deferred share rounds enqueued to
+// the async worker.
+func (o *Observer) Backfill(peer int, inline, deferred int, now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.backfills.Inc()
+	o.backfillInline.Add(int64(inline))
+	o.backfillDefer.Add(int64(deferred))
+	o.trace(KindBackfill, 0, "peer "+strconv.Itoa(peer)+": "+strconv.Itoa(inline)+" inline, "+strconv.Itoa(deferred)+" deferred")
 }
 
 // RejectedMessage records one inbound artifact failing admission,

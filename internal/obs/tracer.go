@@ -17,6 +17,7 @@ const (
 	KindRoundNotarized = "round_notarized"
 	KindCommitted      = "committed"
 	KindResync         = "resync"
+	KindBackfill       = "backfill"
 	KindTransportFault = "transport_fault"
 )
 

@@ -1,0 +1,244 @@
+package runtime
+
+// Rejoin convergence under the async catch-up service: a party starts
+// hundreds of rounds behind a live cluster, on a lossy link, and must
+// converge — while the responders' commit cadence stays within a
+// bounded factor of steady state. Before the backfill refactor the
+// responders signed one beacon share per backfilled round inline on
+// their engine loops; the responder cache is deliberately tiny here so
+// nearly every catch-up share takes the asynchronous worker path, and
+// the whole stack (engine loop, backfill worker, transport) runs
+// concurrently under -race.
+
+import (
+	"crypto/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"icc/internal/backfill"
+	"icc/internal/beacon"
+	"icc/internal/clock"
+	"icc/internal/core"
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/keys"
+	"icc/internal/obs"
+	"icc/internal/pool"
+	"icc/internal/transport"
+	"icc/internal/types"
+	"icc/internal/verify"
+)
+
+func TestRejoinConvergesWithoutCollapsingResponders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-cluster test")
+	}
+	const (
+		n             = 4
+		laggard       = 3
+		gap           = 200 // rounds the cluster is ahead before the laggard starts
+		bound         = 20 * time.Millisecond
+		cadenceWindow = 3 * time.Second
+		cadenceFactor = 5 // responders may slow at most this much during catch-up
+	)
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := transport.NewInproc(n)
+	reg := obs.NewRegistry()
+	clk := clock.NewWall()
+
+	var mu sync.Mutex
+	chains := make([][]hash.Digest, n)
+	commitTimes := make([][]time.Time, n) // wall-clock commit instants
+	maxRound := make([]types.Round, n)
+
+	runners := make([]*Runner, n)
+	endpoints := make([]transport.Endpoint, n)
+	build := func(i int) *Runner {
+		pid := types.PartyID(i)
+		bcn := beacon.NewSimulated(n, pid, pub.GenesisSeed)
+		if i != laggard {
+			// A tiny cache forces nearly every catch-up share onto the
+			// async worker instead of being answered inline.
+			bcn.SetShareCacheSize(16)
+		}
+		ep := hub.Endpoint(pid)
+		var sender backfill.Sender = ep
+		var wrapped transport.Endpoint = ep
+		if i == laggard {
+			// The rejoining party's link is lossy: its Status messages
+			// and share traffic are dropped probabilistically, so
+			// convergence must survive retries.
+			wrapped = transport.NewFaulty(ep, pid, transport.FaultPlan{
+				Seed:     99,
+				DropRate: 0.15,
+			})
+			sender = wrapped
+		}
+		worker := backfill.New(bcn, sender, backfill.Options{Registry: reg})
+		eng := core.NewEngine(core.Config{
+			Self:       pid,
+			Keys:       pub,
+			Priv:       privs[i],
+			Beacon:     bcn,
+			Catchup:    worker,
+			DeltaBound: bound,
+			// Inline (VerifyFull) signature checking on the engine loop
+			// cannot replay a 200-round batch while live traffic floods
+			// in — under -race the crypto alone takes minutes. Run the
+			// production configuration: a verify pipeline per party, with
+			// the pool admitting pre-verified input.
+			Pool: pool.Options{Policy: pool.VerifyPreVerified},
+			Hooks: core.Hooks{
+				OnCommit: func(b *types.Block, _ time.Duration) {
+					mu.Lock()
+					chains[i] = append(chains[i], b.Hash())
+					commitTimes[i] = append(commitTimes[i], time.Now())
+					if b.Round > maxRound[i] {
+						maxRound[i] = b.Round
+					}
+					mu.Unlock()
+				},
+			},
+		})
+		endpoints[i] = wrapped
+		r := NewRunner(eng, wrapped, clk, n)
+		r.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
+			Workers:  2,
+			Registry: reg,
+		}))
+		r.SetBackfillWorker(worker)
+		return r
+	}
+	for i := 0; i < n; i++ {
+		runners[i] = build(i)
+	}
+	t.Cleanup(func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+		hub.Close()
+	})
+
+	// Phase 1: three responders run alone (exactly the n−t quorum) until
+	// they are `gap` rounds ahead.
+	for i := 0; i < n; i++ {
+		if i != laggard {
+			runners[i].Start()
+		}
+	}
+	waitFor(t, 120*time.Second, "responders did not build the gap", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return maxRound[0] >= gap
+	})
+
+	// Phase 2: the laggard starts from round 1 on its lossy link. Its
+	// inbox buffered part of the phase-1 traffic; throw that away first —
+	// a restarted process has lost every in-flight message, and keeping
+	// the buffer would let the laggard replay history without ever
+	// touching the resync layer.
+	lagInbox := endpoints[laggard].Inbox()
+drain:
+	for {
+		select {
+		case _, ok := <-lagInbox:
+			if !ok {
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	mu.Lock()
+	joinAt := time.Now()
+	joinRound := maxRound[0]
+	mu.Unlock()
+	runners[laggard].Start()
+
+	// The laggard must converge past the frontier the cluster had when
+	// it joined.
+	last := time.Now()
+	waitFor(t, 120*time.Second, "laggard did not converge", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) > 5*time.Second {
+			last = time.Now()
+			snap := reg.Snapshot()
+			t.Logf("laggard commit %d / %d (responder %d) shares=%v req=%v drop[closed,inflight,full]=%v,%v,%v",
+				maxRound[laggard], joinRound, maxRound[0],
+				snap["icc_resync_backfill_shares_total"],
+				snap["icc_resync_backfill_requests_total"],
+				snap[`icc_resync_backfill_dropped_total{reason="closed"}`],
+				snap[`icc_resync_backfill_dropped_total{reason="inflight"}`],
+				snap[`icc_resync_backfill_dropped_total{reason="full"}`])
+		}
+		return maxRound[laggard] >= joinRound
+	})
+
+	// Responder cadence must not collapse during catch-up: commits in
+	// the window after the join within cadenceFactor of the window
+	// before. (On the pre-refactor seed a 200-round gap stalled every
+	// responder for the whole signing burst.)
+	time.Sleep(cadenceWindow) // let the post-join window complete
+	mu.Lock()
+	var before, during int
+	for _, at := range commitTimes[0] {
+		switch {
+		case at.After(joinAt.Add(-cadenceWindow)) && at.Before(joinAt):
+			before++
+		case !at.Before(joinAt) && at.Before(joinAt.Add(cadenceWindow)):
+			during++
+		}
+	}
+	mu.Unlock()
+	if before == 0 {
+		t.Fatal("no steady-state commits before the join — test setup broken")
+	}
+	if during < before/cadenceFactor {
+		t.Fatalf("responder cadence collapsed during catch-up: %d commits in %v before join, %d after (bound: ≥ 1/%d)",
+			before, cadenceWindow, during, cadenceFactor)
+	}
+
+	// Safety: all chains prefix-consistent, laggard included.
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := chains[i], chains[j]
+			k := len(a)
+			if len(b) < k {
+				k = len(b)
+			}
+			for x := 0; x < k; x++ {
+				if a[x] != b[x] {
+					t.Fatalf("SAFETY VIOLATION: parties %d and %d disagree at height %d", i, j, x)
+				}
+			}
+		}
+	}
+
+	// The async path must actually have run: with 16-entry caches and a
+	// 200-round gap, the workers — not the engine loops — signed the
+	// catch-up shares.
+	snap := reg.Snapshot()
+	if snap["icc_resync_backfill_shares_total"] == 0 {
+		t.Fatalf("backfill workers signed nothing — the async path was not exercised (snapshot: requests=%v dropped=%v)",
+			snap["icc_resync_backfill_requests_total"], snap["icc_resync_backfill_dropped_total"])
+	}
+}
+
+// waitFor polls cond until it holds or the timeout elapses.
+func waitFor(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

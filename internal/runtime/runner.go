@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"icc/internal/backfill"
 	"icc/internal/clock"
 	"icc/internal/engine"
 	"icc/internal/metrics"
@@ -26,6 +27,7 @@ type Runner struct {
 	stats *metrics.TransportStats
 	obs   *obs.Observer
 	pipe  *verify.Pipeline
+	bfill *backfill.Worker
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -62,6 +64,12 @@ func (r *Runner) SetObserver(ob *obs.Observer) { r.obs = ob }
 // path (the engine verifies inline).
 func (r *Runner) SetVerifyPipeline(p *verify.Pipeline) { r.pipe = p }
 
+// SetBackfillWorker ties a catch-up backfill worker's lifecycle to the
+// runner: the worker (already wired into the engine as its
+// core.CatchupProvider) is closed on Stop, after the event loop exits.
+// Call before Start. A nil worker is a no-op.
+func (r *Runner) SetBackfillWorker(w *backfill.Worker) { r.bfill = w }
+
 // Start launches the event loop.
 func (r *Runner) Start() {
 	r.wg.Add(1)
@@ -69,12 +77,15 @@ func (r *Runner) Start() {
 }
 
 // Stop terminates the loop, waits for it to exit, and closes the
-// verification pipeline if one is attached.
+// verification pipeline and backfill worker if attached.
 func (r *Runner) Stop() {
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.wg.Wait()
 	if r.pipe != nil {
 		r.pipe.Close()
+	}
+	if r.bfill != nil {
+		r.bfill.Close()
 	}
 }
 
@@ -104,6 +115,11 @@ func (r *Runner) loop() {
 				// Never block on a full submission queue: this loop is
 				// also the sole drain of the verified channel, so it
 				// must keep consuming while it waits for queue space.
+				// The timer stays armed here too — under sustained
+				// inbound pressure this inner loop can run for a long
+				// time, and the engine's timeouts (resync Status, delay
+				// bounds) must keep firing or a saturated party silently
+				// loses its stall recovery.
 				for !r.pipe.TrySubmit(env) {
 					if r.pipe.Closed() {
 						return
@@ -114,6 +130,10 @@ func (r *Runner) loop() {
 					case v := <-verified:
 						r.obs.MessageReceived()
 						r.send(r.eng.HandleMessage(v.From, v.Msg, r.clk.Now()))
+					case <-timer.C:
+						r.obs.TickFired()
+						r.send(r.eng.Tick(r.clk.Now()))
+						r.armTimer(timer)
 					}
 				}
 				continue
