@@ -53,6 +53,7 @@ func main() {
 		// worker pool so the sequential engine handles pre-verified input.
 		verifyWorkers = flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS, negative = verify inline on the engine loop)")
 		verifyCache   = flag.Int("verify-cache", 0, "verified-digest cache capacity (0 = default 8192, negative = disabled)")
+		resyncWindow  = flag.Int("resync-window", 0, "behind-shedding window in rounds: while lagging the peer frontier by more, live artifacts beyond it are shed at admission (0 = default 64, negative = never shed)")
 
 		// Catch-up backfill: beacon shares for lagging peers that miss the
 		// own-share cache are signed off the engine loop.
@@ -88,6 +89,7 @@ func main() {
 		traceCap:      *traceCap,
 		verifyWorkers: *verifyWorkers,
 		verifyCache:   *verifyCache,
+		resyncWindow:  *resyncWindow,
 		bfillWorkers:  *backfillWorkers,
 		shareCache:    *shareCache,
 		plan: transport.FaultPlan{
@@ -119,6 +121,7 @@ type nodeConfig struct {
 	traceCap      int
 	verifyWorkers int
 	verifyCache   int
+	resyncWindow  int
 	bfillWorkers  int
 	shareCache    int
 	plan          transport.FaultPlan
@@ -234,9 +237,10 @@ func run(cfg nodeConfig) error {
 	runner.SetBackfillWorker(bfw)
 	if cfg.verifyWorkers >= 0 {
 		runner.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
-			Workers:   cfg.verifyWorkers,
-			CacheSize: cfg.verifyCache,
-			Registry:  reg,
+			Workers:      cfg.verifyWorkers,
+			CacheSize:    cfg.verifyCache,
+			BehindWindow: cfg.resyncWindow,
+			Registry:     reg,
 		}))
 	}
 	runner.Start()

@@ -136,6 +136,12 @@ type Options struct {
 	// disables caching, forcing every catch-up share onto the backfill
 	// workers or, with those disabled too, back inline).
 	ShareCacheSize int
+	// ResyncWindow is the verify pipeline's behind-shedding window: when
+	// a party's engine round lags the verified peer frontier by more
+	// than this many rounds, live artifacts beyond frontier-window are
+	// shed at admission and re-learned via catch-up. 0 (default) uses
+	// verify.DefaultBehindWindow (64); negative disables shedding.
+	ResyncWindow int
 }
 
 // Option mutates Options.
@@ -189,6 +195,11 @@ func WithBackfillWorkers(n int) Option { return func(o *Options) { o.BackfillWor
 // WithShareCacheSize bounds the per-party beacon own-share cache
 // (0 = default 1024; negative = no cache).
 func WithShareCacheSize(n int) Option { return func(o *Options) { o.ShareCacheSize = n } }
+
+// WithResyncWindow sets the verify pipeline's behind-shedding window in
+// rounds (0 = default verify.DefaultBehindWindow; negative = never shed
+// live traffic while behind).
+func WithResyncWindow(n int) Option { return func(o *Options) { o.ResyncWindow = n } }
 
 // validate rejects nonsensical option values up front, so misconfigured
 // clusters fail loudly at construction instead of hanging at runtime.
@@ -372,9 +383,10 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		r.SetBackfillWorker(bfw)
 		if o.VerifyWorkers >= 0 {
 			r.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{
-				Workers:   o.VerifyWorkers,
-				CacheSize: o.VerifyCacheSize,
-				Registry:  reg,
+				Workers:      o.VerifyWorkers,
+				CacheSize:    o.VerifyCacheSize,
+				BehindWindow: o.ResyncWindow,
+				Registry:     reg,
 			}))
 		}
 		c.rnrs = append(c.rnrs, r)

@@ -201,5 +201,7 @@ func (w *Worker) process(req core.BackfillRequest) {
 		return
 	}
 	w.shares.Add(int64(len(msgs)))
-	_ = w.sender.Send(req.Peer, &types.Bundle{Messages: msgs})
+	// Resync-marked: backfill replies are catch-up traffic and ride the
+	// laggard's verify-pipeline priority lane.
+	_ = w.sender.Send(req.Peer, &types.Bundle{Messages: msgs, Resync: true})
 }

@@ -76,7 +76,6 @@ func (c *Catchup) Respond(p *pool.Pool, from types.PartyID, st *types.Status, ro
 	if last, ok := c.repliedAt[from]; ok && now < last+c.interval {
 		return nil
 	}
-	c.repliedAt[from] = now
 
 	end := round
 	if limit := st.Round + types.Round(c.batch); end > limit {
@@ -138,8 +137,20 @@ func (c *Catchup) Respond(p *pool.Pool, from types.PartyID, st *types.Status, ro
 	if c.hook != nil {
 		c.hook(from, inlineShares, len(deferred), now)
 	}
+	// Charge the rate limiter only when the peer actually gets
+	// something — a bundle now or a backfill unicast shortly. A peer
+	// whose gap is fully pruned from our pool must not burn its one
+	// reply per interval on an empty answer; some other responder may
+	// still hold those rounds, and our turn should stay open for when
+	// we can contribute.
+	if len(msgs) == 0 && len(deferred) == 0 {
+		return nil
+	}
+	c.repliedAt[from] = now
 	if len(msgs) == 0 {
 		return nil
 	}
-	return &types.Bundle{Messages: msgs}
+	// Resync marks the bundle for the laggard's verify-pipeline
+	// priority lane and its chain-aware batch verification.
+	return &types.Bundle{Messages: msgs, Resync: true}
 }

@@ -121,6 +121,9 @@ func TestCatchupServesCachedSharesInline(t *testing.T) {
 	if bundle == nil {
 		t.Fatal("no inline bundle despite cache hits")
 	}
+	if !bundle.Resync {
+		t.Fatal("catch-up bundle not Resync-marked")
+	}
 	var inlineRounds []types.Round
 	for _, m := range bundle.Messages {
 		if sh, ok := m.(*types.BeaconShare); ok {
@@ -197,6 +200,35 @@ func TestCatchupRateLimitsPerPeer(t *testing.T) {
 	c.Respond(p, 1, &types.Status{Round: 3, Finalized: 0, Seq: 3}, 10, hash.Digest{}, 200*time.Millisecond)
 	if len(prov.reqs) != n+2 {
 		t.Fatal("first peer not served after the window")
+	}
+}
+
+func TestCatchupEmptyReplyDoesNotChargeLimiter(t *testing.T) {
+	sim := revealedSim(t, 4, 0, 10)
+	sim.SetShareCacheSize(-1)
+	prov := &fakeProvider{accept: true}
+	c, p := buildCatchup(t, sim, prov, nil)
+
+	// A peer that needs no shares (its gap is finalized on its side)
+	// and whose rounds we hold nothing for gets an empty answer — that
+	// must not burn its one reply per interval.
+	if b := c.Respond(p, 1, &types.Status{Round: 3, Finalized: 10, Seq: 1}, 10, hash.Digest{}, 0); b != nil {
+		t.Fatalf("expected empty reply, got %d messages", len(b.Messages))
+	}
+	if len(prov.reqs) != 0 {
+		t.Fatal("backfill enqueued for a fully-finalized gap")
+	}
+	// The very next Status with real needs — still inside the rate
+	// interval — is served, because the empty reply was free.
+	c.Respond(p, 1, &types.Status{Round: 3, Finalized: 0, Seq: 2}, 10, hash.Digest{}, 10*time.Millisecond)
+	if len(prov.reqs) != 1 {
+		t.Fatal("peer stayed rate-limited after an empty reply")
+	}
+	// That served reply did charge the limiter: an immediate repeat is
+	// refused.
+	c.Respond(p, 1, &types.Status{Round: 3, Finalized: 0, Seq: 3}, 10, hash.Digest{}, 20*time.Millisecond)
+	if len(prov.reqs) != 1 {
+		t.Fatal("served reply did not charge the limiter")
 	}
 }
 

@@ -68,10 +68,17 @@ func (e *Engine) maybeResync(now time.Duration) {
 	// reaches past the round being replayed) kmax can exceed round; a
 	// responder skips beacon shares for rounds ≤ Finalized (the laggard
 	// traversed those beacons), and an uncapped report would starve the
-	// beacon replay of the very shares it still needs.
+	// beacon replay of the very shares it still needs. Round is uint64,
+	// so the cap must clamp at zero: `e.round - 1` for a party stalled
+	// before entering round 1 would wrap to 2^64−1 and make responders
+	// skip every beacon share.
 	fin := e.kmax
 	if fin >= e.round {
-		fin = e.round - 1
+		if e.round == 0 {
+			fin = 0
+		} else {
+			fin = e.round - 1
+		}
 	}
 	msgs := []types.Message{&types.Status{Round: e.round, Finalized: fin, Seq: e.statusSeq}}
 	// Our beacon shares for the current round and (once the round's own
@@ -118,7 +125,10 @@ func (e *Engine) maybeResync(now time.Duration) {
 			msgs = append(msgs, f)
 		}
 	}
-	bundle := &types.Bundle{Messages: msgs}
+	// Resync marks the bundle for the receivers' verify-pipeline
+	// priority lane: stall re-broadcasts are recovery traffic and must
+	// not queue behind the live firehose.
+	bundle := &types.Bundle{Messages: msgs, Resync: true}
 	for p := 0; p < e.cfg.Keys.N; p++ {
 		if pid := types.PartyID(p); pid != e.cfg.Self {
 			e.out = append(e.out, engine.Unicast(pid, bundle))

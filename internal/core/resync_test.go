@@ -83,6 +83,45 @@ func TestResyncEmitsStatusWhenStalled(t *testing.T) {
 	}
 }
 
+func TestResyncStatusRoundZeroNoUnderflow(t *testing.T) {
+	// Round is uint64: a party stalled at round 0 must report
+	// Finalized=0, not 2^64−1 — responders skip beacon shares for
+	// rounds ≤ Finalized, so the wrapped value made them skip every
+	// share the stalled party needed.
+	e, _, _ := buildResyncEngine(t, 4, 0, 500*time.Millisecond)
+	e.Init(0)
+	e.round = 0
+	sts := statusesIn(e.Tick(600 * time.Millisecond))
+	if len(sts) == 0 {
+		t.Fatal("no status emitted at round 0")
+	}
+	for _, st := range sts {
+		if st.Finalized != 0 {
+			t.Fatalf("Status.Finalized = %d at round 0, want 0 (uint64 underflow)", st.Finalized)
+		}
+	}
+}
+
+func TestResyncStallBundleCarriesResyncMarker(t *testing.T) {
+	// Stall re-broadcasts must ride the receivers' verify-pipeline
+	// priority lane, which keys off the bundle's Resync flag.
+	e, _, _ := buildResyncEngine(t, 4, 0, 500*time.Millisecond)
+	e.Init(0)
+	outs := e.Tick(600 * time.Millisecond)
+	found := false
+	for _, o := range outs {
+		if b, ok := o.Msg.(*types.Bundle); ok {
+			found = true
+			if !b.Resync {
+				t.Fatal("stall bundle not Resync-marked")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no stall bundle emitted")
+	}
+}
+
 func TestResyncNextWakeCoversStall(t *testing.T) {
 	e, _, _ := buildResyncEngine(t, 4, 0, 500*time.Millisecond)
 	e.Init(0)

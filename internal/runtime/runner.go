@@ -92,6 +92,7 @@ func (r *Runner) Stop() {
 func (r *Runner) loop() {
 	defer r.wg.Done()
 	r.send(r.eng.Init(r.clk.Now()))
+	r.noteRound()
 
 	// With a pipeline, raw envelopes detour through the worker pool and
 	// come back on verified; without one they are handled inline.
@@ -130,9 +131,17 @@ func (r *Runner) loop() {
 					case v := <-verified:
 						r.obs.MessageReceived()
 						r.send(r.eng.HandleMessage(v.From, v.Msg, r.clk.Now()))
+						r.noteRound()
+						// HandleMessage can pull NextWake earlier (a
+						// notarization starts a delay-bound window); with
+						// the stale deadline the tick would fire late for
+						// as long as inbound pressure keeps us in this
+						// loop.
+						r.armTimer(timer)
 					case <-timer.C:
 						r.obs.TickFired()
 						r.send(r.eng.Tick(r.clk.Now()))
+						r.noteRound()
 						r.armTimer(timer)
 					}
 				}
@@ -140,13 +149,26 @@ func (r *Runner) loop() {
 			}
 			r.obs.MessageReceived()
 			r.send(r.eng.HandleMessage(env.From, env.Msg, r.clk.Now()))
+			r.noteRound()
 		case env := <-verified:
 			r.obs.MessageReceived()
 			r.send(r.eng.HandleMessage(env.From, env.Msg, r.clk.Now()))
+			r.noteRound()
 		case <-timer.C:
 			r.obs.TickFired()
 			r.send(r.eng.Tick(r.clk.Now()))
+			r.noteRound()
 		}
+	}
+}
+
+// noteRound feeds the engine's working round to the verification
+// pipeline after every engine interaction, so its behind-frontier
+// shedding predicate tracks actual progress. Called only from the event
+// loop goroutine (CurrentRound is not synchronized).
+func (r *Runner) noteRound() {
+	if r.pipe != nil {
+		r.pipe.NoteEngineRound(r.eng.CurrentRound())
 	}
 }
 

@@ -132,8 +132,18 @@ type BeaconShare struct {
 // Bundle groups several messages into one transmission, as when a party
 // broadcasts "B, B's authenticator, and the notarization for B's parent"
 // in one step (paper Fig. 1).
+//
+// Resync marks the bundle as resynchronisation traffic — a catch-up
+// batch answering a laggard's Status, a stall re-broadcast, or an async
+// backfill reply. The verification pipeline dequeues marked bundles
+// from a dedicated priority lane (so a live firehose cannot starve a
+// rejoining party's catch-up) and applies chain-aware batch
+// verification to their contents. The marker is advisory: it never
+// weakens verification of an artifact that is not provably hash-linked
+// to a fully verified aggregate.
 type Bundle struct {
 	Messages []Message
+	Resync   bool
 }
 
 // Ref identifies an artifact by kind and content hash; the gossip
@@ -271,6 +281,11 @@ func (m *BeaconShare) encodeBody(e *Encoder) {
 }
 
 func (m *Bundle) encodeBody(e *Encoder) {
+	var flags uint8
+	if m.Resync {
+		flags |= 1
+	}
+	e.U8(flags)
 	e.U16(uint16(len(m.Messages)))
 	for _, sub := range m.Messages {
 		e.VarBytes(Marshal(sub))
@@ -396,11 +411,12 @@ func decodeBody(k Kind, d *Decoder) (Message, error) {
 		s.Share = d.VarBytes()
 		m = s
 	case KindBundle:
+		flags := d.U8()
 		count := int(d.U16())
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
-		bundle := &Bundle{Messages: make([]Message, 0, count)}
+		bundle := &Bundle{Messages: make([]Message, 0, count), Resync: flags&1 != 0}
 		for i := 0; i < count; i++ {
 			raw := d.VarBytes()
 			if d.Err() != nil {

@@ -7,6 +7,18 @@
 // single-threaded engine (which the determinism argument of DESIGN.md
 // depends on) only ever handles pre-verified input.
 //
+// Admission is two-laned: resynchronisation traffic (catch-up batches,
+// stall re-broadcasts, backfill replies — bundles carrying the
+// types.Bundle Resync marker, or recognisably stale aggregates) is
+// dequeued with strict priority over the live firehose, so a rejoining
+// party's catch-up can never be starved by tip-of-chain traffic (the
+// laggard-ingest livelock documented after E9). Resync bundles are
+// additionally verified chain-aware: one full check of the highest
+// aggregate admits the whole hash-linked prefix (chain.go). While the
+// party is far behind the observed frontier, live artifacts beyond a
+// configured window are shed at admission — they would sit unusable in
+// the queue and are re-learned through catch-up anyway.
+//
 // Ordering: workers complete out of order, so two messages from the
 // same peer may reach the engine reordered. The ICC protocols are
 // insensitive to this — every artifact is a self-contained addition to
@@ -24,6 +36,7 @@ package verify
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icc/internal/crypto"
@@ -34,20 +47,46 @@ import (
 	"icc/internal/types"
 )
 
+// DefaultBehindWindow is how many rounds past the engine's own round
+// live artifacts are still admitted while the party lags the observed
+// peer frontier. Half a default catch-up batch (core.Config.ResyncBatch
+// = 128): wide enough that normal jitter never sheds, narrow enough
+// that a 500-round rejoin is not drowned by tip traffic it cannot use.
+const DefaultBehindWindow = 64
+
+// Lane labels for the icc_verify_lane_depth gauge family.
+const (
+	LaneLive   = "live"
+	LaneResync = "resync"
+)
+
 // Options tunes a Pipeline. The zero value selects sensible defaults.
 type Options struct {
 	// Workers is the number of verification goroutines; 0 selects
 	// GOMAXPROCS.
 	Workers int
-	// QueueSize bounds the submission queue (0 → 4×Workers, min 64).
-	// A full queue makes Submit block, applying backpressure to the
+	// QueueSize bounds the live submission lane (0 → 4×Workers, min 64).
+	// A full lane makes Submit block, applying backpressure to the
 	// transport reader rather than buffering without bound.
 	QueueSize int
+	// ResyncQueueSize bounds the resync priority lane (0 → QueueSize).
+	ResyncQueueSize int
 	// CacheSize bounds the verified-digest cache (0 → 8192, negative →
 	// disabled). The cache makes re-gossiped and resync'd artifacts
 	// free: an artifact that verified once is admitted on digest match
 	// without re-running its signature checks.
 	CacheSize int
+	// BehindWindow is how many rounds beyond the engine's own round
+	// live artifacts are admitted while the party is behind the
+	// observed peer frontier (0 → DefaultBehindWindow, negative →
+	// never shed). Shed artifacts count as
+	// icc_verify_rejects_total{reason="behind"}.
+	BehindWindow int
+	// Flat disables the lane split, chain-aware resync verification,
+	// and behind-shedding, restoring the single-queue pre-lane
+	// behaviour. Exists for A/B measurement (experiment E10) and as an
+	// escape hatch; production keeps it false.
+	Flat bool
 	// Registry receives the pipeline's instruments (nil → none).
 	Registry *obs.Registry
 	// OnReject, if set, observes every artifact the pipeline drops,
@@ -55,13 +94,22 @@ type Options struct {
 	OnReject func(from types.PartyID, reason string)
 }
 
+// lane identifies a submission queue.
+type lane int
+
+const (
+	laneLive lane = iota
+	laneResync
+)
+
 // Pipeline verifies inbound envelopes on a worker pool. Create with
 // New, feed with Submit, consume verified envelopes from Out, and
 // Close when done. All methods are safe for concurrent use; Submit and
 // Out are safe against a concurrent Close.
 type Pipeline struct {
 	verifier pool.Verifier
-	in       chan transport.Envelope
+	liveIn   chan transport.Envelope
+	resyncIn chan transport.Envelope
 	out      chan transport.Envelope
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -69,14 +117,29 @@ type Pipeline struct {
 
 	cache *digestCache
 
+	flat   bool
+	window uint64 // behind-shedding window in rounds
+	shed   bool   // shedding enabled
+
+	// engineRound mirrors the hosted engine's working round (the runner
+	// refreshes it after every engine call); frontier is the highest
+	// round seen on a *verified* notarization or finalization — forged
+	// rounds cannot move it, so a Byzantine sender cannot trip the
+	// shedding predicate.
+	engineRound atomic.Uint64
+	frontier    atomic.Uint64
+
 	onReject func(from types.PartyID, reason string)
 
-	queueDepth *obs.Gauge
-	latency    *obs.Histogram
-	verified   *obs.Counter
-	cacheHits  *obs.Counter
-	cacheMiss  *obs.Counter
-	rejects    *obs.CounterVec
+	queueDepth      *obs.Gauge
+	laneLiveDepth   *obs.Gauge
+	laneResyncDepth *obs.Gauge
+	latency         *obs.Histogram
+	verified        *obs.Counter
+	chainAdmit      *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMiss       *obs.Counter
+	rejects         *obs.CounterVec
 }
 
 // New builds and starts a pipeline verifying against v — typically
@@ -94,18 +157,34 @@ func New(v pool.Verifier, opts Options) *Pipeline {
 			queue = 64
 		}
 	}
+	resyncQueue := opts.ResyncQueueSize
+	if resyncQueue <= 0 {
+		resyncQueue = queue
+	}
+	window := opts.BehindWindow
+	if window == 0 {
+		window = DefaultBehindWindow
+	}
 	p := &Pipeline{
 		verifier: v,
-		in:       make(chan transport.Envelope, queue),
+		liveIn:   make(chan transport.Envelope, queue),
+		resyncIn: make(chan transport.Envelope, resyncQueue),
 		out:      make(chan transport.Envelope, queue),
 		done:     make(chan struct{}),
 		cache:    newDigestCache(opts.CacheSize),
+		flat:     opts.Flat,
+		window:   uint64(max(window, 0)),
+		shed:     window > 0 && !opts.Flat,
 		onReject: opts.OnReject,
 	}
 	if reg := opts.Registry; reg != nil {
-		p.queueDepth = reg.Gauge("icc_verify_queue_depth", "Envelopes waiting for a verification worker.")
+		p.queueDepth = reg.Gauge("icc_verify_queue_depth", "Envelopes waiting for a verification worker (all lanes).")
+		laneDepth := reg.GaugeVec("icc_verify_lane_depth", "Envelopes waiting for a verification worker, by lane.", "lane")
+		p.laneLiveDepth = laneDepth.With(LaneLive)
+		p.laneResyncDepth = laneDepth.With(LaneResync)
 		p.latency = reg.Histogram("icc_verify_latency_seconds", "Per-envelope verification latency.", nil)
 		p.verified = reg.Counter("icc_verify_verified_total", "Artifacts that passed signature verification.")
+		p.chainAdmit = reg.Counter("icc_verify_chain_admitted_total", "Artifacts admitted by hash linkage to a verified aggregate instead of per-artifact verification.")
 		p.cacheHits = reg.Counter("icc_verify_cache_hits_total", "Artifacts admitted from the verified-digest cache.")
 		p.cacheMiss = reg.Counter("icc_verify_cache_misses_total", "Artifacts that required fresh verification.")
 		p.rejects = reg.CounterVec("icc_verify_rejects_total", "Inbound artifacts rejected at admission, by reason.", "reason")
@@ -117,15 +196,193 @@ func New(v pool.Verifier, opts Options) *Pipeline {
 	return p
 }
 
-// Submit queues one envelope for verification. It blocks when the queue
+// NoteEngineRound records the hosted engine's working round. The runner
+// calls it after every engine interaction; the shedding predicate and
+// the resync-content heuristic read it.
+func (p *Pipeline) NoteEngineRound(k types.Round) { p.engineRound.Store(uint64(k)) }
+
+// Frontier reports the highest round observed on a verified
+// notarization or finalization (the pipeline's view of the cluster
+// tip). Exposed for tests and diagnostics.
+func (p *Pipeline) Frontier() types.Round { return types.Round(p.frontier.Load()) }
+
+// noteFrontier ratchets the observed frontier up to k.
+func (p *Pipeline) noteFrontier(k types.Round) {
+	for {
+		cur := p.frontier.Load()
+		if uint64(k) <= cur || p.frontier.CompareAndSwap(cur, uint64(k)) {
+			return
+		}
+	}
+}
+
+// behind reports whether the engine lags the observed frontier by more
+// than the shedding window, and the highest round still admitted.
+func (p *Pipeline) behind() (uint64, bool) {
+	if !p.shed {
+		return 0, false
+	}
+	limit := p.engineRound.Load() + p.window
+	return limit, p.frontier.Load() > limit
+}
+
+// classify routes an envelope to a lane. Resync-marked bundles take the
+// priority lane; so — while the party is behind — do unmarked bundles
+// whose aggregates sit well below the observed frontier (catch-up
+// content from a sender predating the marker). Everything else is live.
+func (p *Pipeline) classify(m types.Message) lane {
+	if p.flat {
+		return laneLive
+	}
+	b, ok := m.(*types.Bundle)
+	if !ok {
+		return laneLive
+	}
+	if b.Resync {
+		return laneResync
+	}
+	if _, isBehind := p.behind(); isBehind {
+		// A live bundle's aggregates ride at the frontier (a proposal
+		// carries its parent's notarization); catch-up content is far
+		// below it. The margin keeps live proposals in the live lane.
+		f := p.frontier.Load()
+		for _, sub := range b.Messages {
+			switch v := sub.(type) {
+			case *types.Notarization:
+				if uint64(v.Round)+p.window < f {
+					return laneResync
+				}
+			case *types.Finalization:
+				if uint64(v.Round)+p.window < f {
+					return laneResync
+				}
+			}
+		}
+	}
+	return laneLive
+}
+
+// roundOf extracts the protocol round an artifact belongs to, or 0 for
+// kinds the shedder must never touch (control traffic, gossip refs,
+// RBC fragments — layers with their own admission logic).
+func roundOf(m types.Message) uint64 {
+	switch v := m.(type) {
+	case *types.BlockMsg:
+		if v.Block != nil {
+			return uint64(v.Block.Round)
+		}
+	case *types.Authenticator:
+		return uint64(v.Round)
+	case *types.NotarizationShare:
+		return uint64(v.Round)
+	case *types.Notarization:
+		return uint64(v.Round)
+	case *types.FinalizationShare:
+		return uint64(v.Round)
+	case *types.Finalization:
+		return uint64(v.Round)
+	case *types.BeaconShare:
+		return uint64(v.Round)
+	}
+	return 0
+}
+
+// shedLive drops live-lane artifacts beyond the admission window while
+// the party is behind. It returns the (possibly filtered) message and
+// whether anything at all survives. Shed artifacts are counted as
+// rejects with reason "behind" — they are not errors, but the operator
+// watching a rejoin should see where the firehose went.
+func (p *Pipeline) shedLive(from types.PartyID, m types.Message) (types.Message, bool) {
+	limit, isBehind := p.behind()
+	if !isBehind {
+		return m, true
+	}
+	drop := func(sub types.Message) bool { return roundOf(sub) > limit }
+	if b, ok := m.(*types.Bundle); ok {
+		kept := make([]types.Message, 0, len(b.Messages))
+		for _, sub := range b.Messages {
+			if drop(sub) {
+				p.rejectBehind(from)
+				continue
+			}
+			kept = append(kept, sub)
+		}
+		if len(kept) == 0 {
+			return nil, false
+		}
+		if len(kept) == len(b.Messages) {
+			return b, true
+		}
+		return &types.Bundle{Messages: kept, Resync: b.Resync}, true
+	}
+	if drop(m) {
+		p.rejectBehind(from)
+		return nil, false
+	}
+	return m, true
+}
+
+func (p *Pipeline) rejectBehind(from types.PartyID) {
+	p.rejects.With("behind").Inc()
+	if p.onReject != nil {
+		p.onReject(from, "behind")
+	}
+}
+
+// admit classifies and (for the live lane) sheds one envelope. ok=false
+// means the envelope was consumed entirely by the shedder and nothing
+// is to be queued.
+func (p *Pipeline) admit(env transport.Envelope) (transport.Envelope, lane, bool) {
+	ln := p.classify(env.Msg)
+	if ln == laneLive {
+		msg, keep := p.shedLive(env.From, env.Msg)
+		if !keep {
+			return env, ln, false
+		}
+		env.Msg = msg
+	}
+	return env, ln, true
+}
+
+// enqueued/dequeued keep the depth gauges in step with the lanes.
+func (p *Pipeline) enqueued(ln lane) {
+	p.queueDepth.Add(1)
+	if ln == laneResync {
+		p.laneResyncDepth.Add(1)
+	} else {
+		p.laneLiveDepth.Add(1)
+	}
+}
+
+func (p *Pipeline) dequeued(ln lane) {
+	p.queueDepth.Add(-1)
+	if ln == laneResync {
+		p.laneResyncDepth.Add(-1)
+	} else {
+		p.laneLiveDepth.Add(-1)
+	}
+}
+
+// Submit queues one envelope for verification. It blocks when the lane
 // is full (backpressure) and reports false once the pipeline is closed.
 // A caller that is also the sole consumer of Out must use TrySubmit
 // and drain Out between attempts instead — blocking here while workers
-// block on a full Out channel would deadlock.
+// block on a full Out channel would deadlock. A true return only means
+// the envelope was consumed: while the party is far behind the cluster
+// frontier, live artifacts beyond the admission window are shed rather
+// than queued.
 func (p *Pipeline) Submit(env transport.Envelope) bool {
+	env, ln, ok := p.admit(env)
+	if !ok {
+		return !p.Closed()
+	}
+	ch := p.liveIn
+	if ln == laneResync {
+		ch = p.resyncIn
+	}
 	select {
-	case p.in <- env:
-		p.queueDepth.Add(1)
+	case ch <- env:
+		p.enqueued(ln)
 		return true
 	case <-p.done:
 		return false
@@ -133,11 +390,19 @@ func (p *Pipeline) Submit(env transport.Envelope) bool {
 }
 
 // TrySubmit queues one envelope without blocking. It reports false when
-// the queue is full or the pipeline is closed (distinguish with Closed).
+// the lane is full or the pipeline is closed (distinguish with Closed).
 func (p *Pipeline) TrySubmit(env transport.Envelope) bool {
+	env, ln, ok := p.admit(env)
+	if !ok {
+		return !p.Closed()
+	}
+	ch := p.liveIn
+	if ln == laneResync {
+		ch = p.resyncIn
+	}
 	select {
-	case p.in <- env:
-		p.queueDepth.Add(1)
+	case ch <- env:
+		p.enqueued(ln)
 		return true
 	default:
 		return false
@@ -160,32 +425,66 @@ func (p *Pipeline) Out() <-chan transport.Envelope { return p.out }
 
 // Close stops the workers and releases the pipeline. In-flight
 // envelopes may be dropped; the consensus layer tolerates message loss
-// by design (resync). Safe to call more than once.
+// by design (resync). Safe to call more than once. Envelopes still
+// buffered in the lanes are abandoned, so the depth gauges are zeroed
+// here — otherwise a Prometheus scrape after shutdown would show
+// phantom queue depth forever.
 func (p *Pipeline) Close() {
 	p.once.Do(func() { close(p.done) })
 	p.wg.Wait()
+	p.queueDepth.Set(0)
+	p.laneLiveDepth.Set(0)
+	p.laneResyncDepth.Set(0)
 }
 
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for {
+		// Strict priority: a queued resync envelope is always taken
+		// before any live one. The live firehose therefore cannot
+		// starve catch-up — the inverse starvation (resync swamping
+		// live) is bounded by the per-peer rate limit on catch-up
+		// responses and the size of a batch.
 		select {
 		case <-p.done:
 			return
-		case env := <-p.in:
-			p.queueDepth.Add(-1)
-			start := time.Now()
-			msg, ok := p.process(env.From, env.Msg)
-			p.latency.Observe(time.Since(start).Seconds())
-			if !ok {
-				continue
+		case env := <-p.resyncIn:
+			if !p.handle(env, laneResync) {
+				return
 			}
-			select {
-			case p.out <- transport.Envelope{From: env.From, Msg: msg}:
-			case <-p.done:
+			continue
+		default:
+		}
+		select {
+		case <-p.done:
+			return
+		case env := <-p.resyncIn:
+			if !p.handle(env, laneResync) {
+				return
+			}
+		case env := <-p.liveIn:
+			if !p.handle(env, laneLive) {
 				return
 			}
 		}
+	}
+}
+
+// handle verifies one dequeued envelope and forwards survivors. It
+// reports false when the pipeline closed mid-delivery.
+func (p *Pipeline) handle(env transport.Envelope, ln lane) bool {
+	p.dequeued(ln)
+	start := time.Now()
+	msg, ok := p.process(env.From, env.Msg)
+	p.latency.Observe(time.Since(start).Seconds())
+	if !ok {
+		return true
+	}
+	select {
+	case p.out <- transport.Envelope{From: env.From, Msg: msg}:
+		return true
+	case <-p.done:
+		return false
 	}
 }
 
@@ -194,6 +493,9 @@ func (p *Pipeline) worker() {
 func (p *Pipeline) process(from types.PartyID, m types.Message) (types.Message, bool) {
 	switch v := m.(type) {
 	case *types.Bundle:
+		if v.Resync && !p.flat {
+			return p.processResync(from, v)
+		}
 		kept := make([]types.Message, 0, len(v.Messages))
 		for _, sub := range v.Messages {
 			if s, ok := p.process(from, sub); ok {
@@ -203,12 +505,18 @@ func (p *Pipeline) process(from types.PartyID, m types.Message) (types.Message, 
 		if len(kept) == 0 {
 			return nil, false
 		}
-		return &types.Bundle{Messages: kept}, true
+		return &types.Bundle{Messages: kept, Resync: v.Resync}, true
 	case *types.Authenticator, *types.NotarizationShare, *types.Notarization,
 		*types.FinalizationShare, *types.Finalization:
 		if err := p.checkCached(m); err != nil {
 			p.reject(from, err)
 			return nil, false
+		}
+		switch t := m.(type) {
+		case *types.Notarization:
+			p.noteFrontier(t.Round)
+		case *types.Finalization:
+			p.noteFrontier(t.Round)
 		}
 		return m, true
 	default:
@@ -234,15 +542,27 @@ func (p *Pipeline) checkCached(m types.Message) error {
 		}
 	}
 	if err := p.check(m); err != nil {
-		p.cacheMiss.Inc()
+		if p.cache != nil {
+			p.cacheMiss.Inc()
+		}
 		return err
 	}
-	p.cacheMiss.Inc()
-	p.verified.Inc()
 	if p.cache != nil {
+		p.cacheMiss.Inc()
 		p.cache.insert(key)
 	}
+	p.verified.Inc()
 	return nil
+}
+
+// cacheInsert records an artifact as verified without running its
+// checks — the chain-aware admission path, where linkage to a verified
+// aggregate is the proof. A later byte-identical redelivery then hits
+// the cache like any other verified artifact.
+func (p *Pipeline) cacheInsert(m types.Message) {
+	if p.cache != nil {
+		p.cache.insert(hash.Sum(hash.DomainPayload, types.Marshal(m)))
+	}
 }
 
 func (p *Pipeline) check(m types.Message) error {

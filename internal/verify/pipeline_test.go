@@ -257,6 +257,10 @@ func TestPipelineDisabledCache(t *testing.T) {
 	if snap["icc_verify_cache_hits_total"] != 0 {
 		t.Fatal("disabled cache recorded hits")
 	}
+	if snap["icc_verify_cache_misses_total"] != 0 {
+		t.Fatalf("misses = %v with the cache disabled, want 0 (nothing was consulted)",
+			snap["icc_verify_cache_misses_total"])
+	}
 	if snap["icc_verify_verified_total"] != 2 {
 		t.Fatalf("verified = %v, want 2 (no cache)", snap["icc_verify_verified_total"])
 	}
