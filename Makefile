@@ -16,7 +16,7 @@ vet:
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/...
 
 # Regenerate the evaluation tables and record a machine-readable
 # BENCH_<timestamp>.json snapshot in the repo root.

@@ -38,6 +38,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"fragility":      experiments.PBFTFragility,
 	"verifypipeline": experiments.VerifyPipeline,
 	"catchup":        experiments.Catchup,
+	"durability":     experiments.Durability,
 }
 
 // benchSummary is the machine-readable run record written by -json, so

@@ -26,6 +26,7 @@ import (
 
 	"icc/internal/backfill"
 	"icc/internal/beacon"
+	"icc/internal/checkpoint"
 	"icc/internal/clock"
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
@@ -37,6 +38,7 @@ import (
 	"icc/internal/transport"
 	"icc/internal/types"
 	"icc/internal/verify"
+	"icc/internal/wal"
 )
 
 func main() {
@@ -59,6 +61,12 @@ func main() {
 		// own-share cache are signed off the engine loop.
 		backfillWorkers = flag.Int("backfill-workers", 0, "catch-up share signing worker count (0 = 1 worker, negative = sign inline on the engine loop)")
 		shareCache      = flag.Int("share-cache", 0, "beacon own-share cache capacity (0 = default 1024, negative = disabled)")
+
+		// Durability: a crash-consistent write-ahead log plus periodic
+		// signed checkpoints. Restarting with the same -wal-dir resumes
+		// from the persisted rounds instead of round 1.
+		walDir       = flag.String("wal-dir", "", "persist consensus state under this directory (empty = in-memory only)")
+		ckptInterval = flag.Uint64("checkpoint-interval", 64, "certify a signed state checkpoint every N finalized rounds (0 = disabled; requires -wal-dir)")
 
 		// Observability: one HTTP server exposing Prometheus metrics, a
 		// commit-recency health probe, the protocol event trace, and pprof.
@@ -92,6 +100,8 @@ func main() {
 		resyncWindow:  *resyncWindow,
 		bfillWorkers:  *backfillWorkers,
 		shareCache:    *shareCache,
+		walDir:        *walDir,
+		ckptInterval:  *ckptInterval,
 		plan: transport.FaultPlan{
 			Seed:        *chaosSeed,
 			DropRate:    *chaosDrop,
@@ -124,6 +134,8 @@ type nodeConfig struct {
 	resyncWindow  int
 	bfillWorkers  int
 	shareCache    int
+	walDir        string
+	ckptInterval  uint64
 	plan          transport.FaultPlan
 }
 
@@ -202,23 +214,52 @@ func run(cfg nodeConfig) error {
 	if cfg.shareCache != 0 {
 		bcn.SetShareCacheSize(cfg.shareCache)
 	}
+	// Durability: WAL plus signed checkpoints under -wal-dir. Opened
+	// before the engine so crash recovery replays into a fresh engine,
+	// and closed after the runner stops so the final flush captures
+	// everything the loop appended (defer ordering below).
+	var (
+		nodeWAL   *wal.Log
+		ckptStore *checkpoint.Store
+	)
+	if cfg.walDir != "" {
+		nodeWAL, err = wal.Open(filepath.Join(cfg.walDir, "wal"), wal.Options{Registry: reg})
+		if err != nil {
+			return fmt.Errorf("opening WAL: %w", err)
+		}
+		defer func() { _ = nodeWAL.Close() }()
+		ckptStore, err = checkpoint.OpenStore(filepath.Join(cfg.walDir, "checkpoints"), checkpoint.StoreOptions{Registry: reg})
+		if err != nil {
+			return fmt.Errorf("opening checkpoint store: %w", err)
+		}
+		defer ckptStore.Close()
+	} else if cfg.ckptInterval > 0 {
+		// Checkpoints certify durable state; without a directory there is
+		// nothing durable to certify. Run in-memory, as before this flag.
+		cfg.ckptInterval = 0
+	}
 	var bfw *backfill.Worker
 	var provider core.CatchupProvider
 	if cfg.bfillWorkers >= 0 {
-		bfw = backfill.New(bcn, ep, backfill.Options{Workers: cfg.bfillWorkers, Registry: reg})
+		bfw = backfill.New(bcn, ep, backfill.Options{Workers: cfg.bfillWorkers, Registry: reg, Checkpoints: ckptStore})
 		provider = bfw
 	}
 	eng := core.NewEngine(core.Config{
-		Self:       types.PartyID(self),
-		Keys:       pub,
-		Priv:       *priv,
-		Beacon:     bcn,
-		Catchup:    provider,
-		DeltaBound: cfg.bound,
-		Epsilon:    cfg.epsilon,
-		Payload:    queue,
-		PruneDepth: 128,
-		Pool:       pool.Options{Policy: policy},
+		Self:               types.PartyID(self),
+		Keys:               pub,
+		Priv:               *priv,
+		Beacon:             bcn,
+		Catchup:            provider,
+		DeltaBound:         cfg.bound,
+		Epsilon:            cfg.epsilon,
+		Payload:            queue,
+		PruneDepth:         core.DefaultPruneDepth,
+		WAL:                nodeWAL,
+		Checkpoints:        ckptStore,
+		CheckpointInterval: types.Round(cfg.ckptInterval),
+		StateSnapshot:      kv.Snapshot,
+		StateRestore:       kv.Restore,
+		Pool:               pool.Options{Policy: policy},
 		Hooks: core.ObservedHooks(ob, core.Hooks{
 			OnCommit: func(b *types.Block, now time.Duration) {
 				_ = kv.Apply(b.Payload)
@@ -231,6 +272,23 @@ func run(cfg nodeConfig) error {
 			},
 		}),
 	})
+	if nodeWAL != nil {
+		resumed, err := eng.Recover()
+		if err != nil {
+			return fmt.Errorf("crash recovery: %w", err)
+		}
+		if resumed > 1 && !cfg.quiet {
+			fmt.Printf("recovered durable state: resuming at round %d\n", resumed)
+		}
+	}
+	// Runs after runner.Stop (LIFO): if this node fell behind the prune
+	// horizon with no checkpoint path, say so on the way out instead of
+	// leaving a silently stalled process in the logs.
+	defer func() {
+		if err := eng.ResyncLost(); err != nil {
+			fmt.Printf("warning: %v\n", err)
+		}
+	}()
 	runner := runtime.NewRunner(eng, ep, clock.NewWall(), pub.N)
 	runner.SetTransportStats(stats)
 	runner.SetObserver(ob)

@@ -83,7 +83,7 @@ func main() {
 		Adaptive:   *adaptive,
 		SimBeacon:  !*realCrypto,
 		Verify:     verifyPolicy,
-		PruneDepth: 64,
+		PruneDepth: core.DefaultPruneDepth,
 	}
 	if *wan {
 		mat := simnet.NewWANMatrix(*n, 6*time.Millisecond, 110*time.Millisecond, *seed)

@@ -46,7 +46,7 @@ func main() {
 		}
 		// Party 3 tries with a single share: must fail (unpredictability:
 		// t corrupt parties alone can never learn the next beacon).
-		if err := beacons[3].AddShare(shares[0]); err != nil {
+		if _, err := beacons[3].AddShare(shares[0]); err != nil {
 			log.Fatal(err)
 		}
 		if _, ok := beacons[3].Reveal(round); ok {
@@ -57,7 +57,7 @@ func main() {
 		var ref string
 		for i, b := range beacons {
 			for _, idx := range subsets[i] {
-				if err := b.AddShare(shares[idx]); err != nil {
+				if _, err := b.AddShare(shares[idx]); err != nil {
 					log.Fatal(err)
 				}
 			}

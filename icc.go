@@ -23,12 +23,14 @@ import (
 	"context"
 	"crypto/rand"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"icc/internal/adversary"
 	"icc/internal/backfill"
 	"icc/internal/beacon"
+	"icc/internal/checkpoint"
 	"icc/internal/clock"
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
@@ -44,6 +46,7 @@ import (
 	"icc/internal/transport"
 	"icc/internal/types"
 	"icc/internal/verify"
+	"icc/internal/wal"
 )
 
 // Mode selects the protocol variant.
@@ -142,6 +145,21 @@ type Options struct {
 	// shed at admission and re-learned via catch-up. 0 (default) uses
 	// verify.DefaultBehindWindow (64); negative disables shedding.
 	ResyncWindow int
+	// WALDir, when non-empty, makes every party durable: each gets a
+	// crash-consistent write-ahead log and checkpoint store under
+	// WALDir/party-<i>/, replayed by NewLocalCluster so a restarted
+	// cluster (same directory) resumes from its persisted state.
+	WALDir string
+	// CheckpointInterval, when positive, makes parties certify a signed
+	// state checkpoint every so many finalized rounds (and enables the
+	// checkpoint-transfer path for peers behind the prune horizon). Only
+	// meaningful together with WALDir.
+	CheckpointInterval uint64
+	// PruneDepth bounds pool/beacon retention behind the finalized
+	// frontier. 0 keeps the historical facade behaviour (no pruning)
+	// unless CheckpointInterval is set, in which case it defaults to
+	// core.DefaultPruneDepth; negative values are invalid.
+	PruneDepth uint64
 }
 
 // Option mutates Options.
@@ -201,6 +219,23 @@ func WithShareCacheSize(n int) Option { return func(o *Options) { o.ShareCacheSi
 // live traffic while behind).
 func WithResyncWindow(n int) Option { return func(o *Options) { o.ResyncWindow = n } }
 
+// WithWALDir makes every party durable under dir (one subdirectory per
+// party): artifacts are WAL-logged with group-commit fsync before any
+// signature leaves the process, and a cluster rebuilt on the same
+// directory resumes from its persisted rounds.
+func WithWALDir(dir string) Option { return func(o *Options) { o.WALDir = dir } }
+
+// WithCheckpointInterval makes parties certify a signed state checkpoint
+// every n finalized rounds (requires WithWALDir).
+func WithCheckpointInterval(n uint64) Option {
+	return func(o *Options) { o.CheckpointInterval = n }
+}
+
+// WithPruneDepth bounds pool/beacon retention behind the finalized
+// frontier (0 = no pruning, or core.DefaultPruneDepth when
+// checkpointing is enabled).
+func WithPruneDepth(n uint64) Option { return func(o *Options) { o.PruneDepth = n } }
+
 // validate rejects nonsensical option values up front, so misconfigured
 // clusters fail loudly at construction instead of hanging at runtime.
 func (o Options) validate(n int) error {
@@ -227,6 +262,9 @@ func (o Options) validate(n int) error {
 	if o.StallAfter < 0 {
 		return fmt.Errorf("icc: negative StallAfter %v", o.StallAfter)
 	}
+	if o.CheckpointInterval > 0 && o.WALDir == "" {
+		return fmt.Errorf("icc: CheckpointInterval requires WALDir")
+	}
 	for p := range o.Behaviors {
 		if p < 0 || p >= n {
 			return fmt.Errorf("icc: behavior assigned to party %d, cluster has %d parties", p, n)
@@ -249,6 +287,8 @@ type LocalCluster struct {
 
 	queues []*statemachine.Queue
 	kvs    []*statemachine.KV
+	wals   []*wal.Log
+	stores []*checkpoint.Store
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -296,6 +336,8 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		hub:          transport.NewInproc(n),
 		queues:       make([]*statemachine.Queue, n),
 		kvs:          make([]*statemachine.KV, n),
+		wals:         make([]*wal.Log, n),
+		stores:       make([]*checkpoint.Store, n),
 		committed:    make([]int, n),
 		commitSignal: make(chan struct{}),
 		reg:          reg,
@@ -339,27 +381,65 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			bcn.SetShareCacheSize(o.ShareCacheSize)
 		}
 		ep := c.hub.Endpoint(types.PartyID(i))
+		// Durability: WAL and checkpoint store live under one per-party
+		// directory, so a cluster rebuilt on the same WALDir resumes each
+		// party from its own persisted frontier.
+		pruneDepth := types.Round(o.PruneDepth)
+		if pruneDepth == 0 && o.CheckpointInterval > 0 {
+			pruneDepth = core.DefaultPruneDepth
+		}
+		var partyWAL *wal.Log
+		var partyStore *checkpoint.Store
+		if o.WALDir != "" {
+			base := filepath.Join(o.WALDir, fmt.Sprintf("party-%d", i))
+			var err error
+			partyWAL, err = wal.Open(filepath.Join(base, "wal"), wal.Options{Registry: reg})
+			if err != nil {
+				return nil, fmt.Errorf("icc: party %d wal: %w", i, err)
+			}
+			partyStore, err = checkpoint.OpenStore(filepath.Join(base, "checkpoints"), checkpoint.StoreOptions{Registry: reg})
+			if err != nil {
+				return nil, fmt.Errorf("icc: party %d checkpoint store: %w", i, err)
+			}
+			c.wals[i] = partyWAL
+			c.stores[i] = partyStore
+		}
 		var bfw *backfill.Worker
 		if o.BackfillWorkers >= 0 {
 			bfw = backfill.New(bcn, ep, backfill.Options{
-				Workers:  o.BackfillWorkers,
-				Registry: reg,
+				Workers:     o.BackfillWorkers,
+				Registry:    reg,
+				Checkpoints: partyStore,
 			})
 		}
+		kv := c.kvs[i]
 		inner := core.NewEngine(core.Config{
-			Self:       types.PartyID(i),
-			Keys:       pub,
-			Priv:       privs[i],
-			Beacon:     bcn,
-			Catchup:    asProvider(bfw),
-			DeltaBound: o.DeltaBound,
-			Epsilon:    o.Epsilon,
-			Payload:    c.queues[i],
-			Pool:       pool.Options{Policy: policy},
+			Self:               types.PartyID(i),
+			Keys:               pub,
+			Priv:               privs[i],
+			Beacon:             bcn,
+			Catchup:            asProvider(bfw),
+			DeltaBound:         o.DeltaBound,
+			Epsilon:            o.Epsilon,
+			Payload:            c.queues[i],
+			Pool:               pool.Options{Policy: policy},
+			PruneDepth:         pruneDepth,
+			WAL:                partyWAL,
+			Checkpoints:        partyStore,
+			CheckpointInterval: types.Round(o.CheckpointInterval),
+			StateSnapshot:      kv.Snapshot,
+			StateRestore:       kv.Restore,
 			Hooks: core.ObservedHooks(ob, core.Hooks{
 				OnCommit: func(b *types.Block, _ time.Duration) { c.commit(i, b) },
 			}),
 		})
+		if partyWAL != nil {
+			// Replay the persisted rounds (rebuilding the KV through the
+			// OnCommit hook) before the runner starts delivering traffic.
+			if _, err := inner.Recover(); err != nil {
+				return nil, fmt.Errorf("icc: party %d recover: %w", i, err)
+			}
+		}
 		var eng engine.Engine = inner
 		switch behavior {
 		case SilentLeader:
@@ -489,6 +569,14 @@ func (c *LocalCluster) Stop() {
 		if r != nil {
 			r.Stop()
 		}
+	}
+	// Runners are quiesced: flush and close the durability layer so the
+	// last admitted artifacts are on disk and the gauges zero out.
+	for _, w := range c.wals {
+		_ = w.Close()
+	}
+	for _, s := range c.stores {
+		s.Close()
 	}
 	c.hub.Close()
 	_ = srv.Close()

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"icc/internal/checkpoint"
 	"icc/internal/core"
 	"icc/internal/obs"
 	"icc/internal/types"
@@ -57,6 +58,11 @@ type Options struct {
 	QueueSize int
 	// Registry receives the worker's instruments (nil → none).
 	Registry *obs.Registry
+	// Checkpoints, if non-nil, lets the worker serve checkpoint
+	// transfers (core.CheckpointProvider) to peers stuck behind the
+	// prune horizon. The store is safe for concurrent use, so the blob
+	// read happens off the engine loop like everything else here.
+	Checkpoints *checkpoint.Store
 }
 
 // Worker signs queued catch-up beacon shares off the engine loop and
@@ -64,12 +70,14 @@ type Options struct {
 // as core.Config.Catchup, and Close when the runtime stops. All methods
 // are safe for concurrent use.
 type Worker struct {
-	signer ShareSigner
-	sender Sender
-	in     chan core.BackfillRequest
-	done   chan struct{}
-	wg     sync.WaitGroup
-	once   sync.Once
+	signer      ShareSigner
+	sender      Sender
+	checkpoints *checkpoint.Store
+	in          chan core.BackfillRequest
+	ckptIn      chan core.CheckpointRequest
+	done        chan struct{}
+	wg          sync.WaitGroup
+	once        sync.Once
 
 	// inflight dedupes per peer: while one request for a peer is queued
 	// or being signed, further requests for that peer are dropped — the
@@ -77,14 +85,18 @@ type Worker struct {
 	mu       sync.Mutex
 	inflight map[types.PartyID]bool
 
-	requests *obs.Counter
-	dropped  *obs.CounterVec
-	shares   *obs.Counter
-	depth    *obs.Gauge
-	latency  *obs.Histogram
+	requests  *obs.Counter
+	dropped   *obs.CounterVec
+	shares    *obs.Counter
+	transfers *obs.Counter
+	depth     *obs.Gauge
+	latency   *obs.Histogram
 }
 
-var _ core.CatchupProvider = (*Worker)(nil)
+var (
+	_ core.CatchupProvider    = (*Worker)(nil)
+	_ core.CheckpointProvider = (*Worker)(nil)
+)
 
 // New builds and starts a worker signing with signer and delivering
 // through sender.
@@ -98,16 +110,19 @@ func New(signer ShareSigner, sender Sender, opts Options) *Worker {
 		queue = 64
 	}
 	w := &Worker{
-		signer:   signer,
-		sender:   sender,
-		in:       make(chan core.BackfillRequest, queue),
-		done:     make(chan struct{}),
-		inflight: make(map[types.PartyID]bool),
+		signer:      signer,
+		sender:      sender,
+		checkpoints: opts.Checkpoints,
+		in:          make(chan core.BackfillRequest, queue),
+		ckptIn:      make(chan core.CheckpointRequest, queue),
+		done:        make(chan struct{}),
+		inflight:    make(map[types.PartyID]bool),
 	}
 	if reg := opts.Registry; reg != nil {
 		w.requests = reg.Counter("icc_resync_backfill_requests_total", "Backfill share requests accepted by the worker queue.")
 		w.dropped = reg.CounterVec("icc_resync_backfill_dropped_total", "Backfill requests dropped, by reason.", "reason")
 		w.shares = reg.Counter("icc_resync_backfill_shares_total", "Beacon shares signed and sent by the backfill worker.")
+		w.transfers = reg.Counter("icc_checkpoint_transfers_total", "Checkpoint blobs unicast to peers stuck behind the prune horizon.")
 		w.depth = reg.Gauge("icc_resync_backfill_queue_depth", "Backfill requests waiting for a signing worker.")
 		w.latency = reg.Histogram("icc_resync_backfill_latency_seconds", "Per-request backfill signing+send latency.", nil)
 	}
@@ -151,6 +166,39 @@ func (w *Worker) EnqueueBackfill(req core.BackfillRequest) bool {
 	}
 }
 
+// EnqueueCheckpoint implements core.CheckpointProvider with the same
+// non-blocking, per-peer-deduped discipline as EnqueueBackfill. Returns
+// false when no checkpoint store is wired.
+func (w *Worker) EnqueueCheckpoint(req core.CheckpointRequest) bool {
+	if w.checkpoints == nil {
+		return false
+	}
+	select {
+	case <-w.done:
+		w.dropped.With("closed").Inc()
+		return false
+	default:
+	}
+	w.mu.Lock()
+	if w.inflight[req.Peer] {
+		w.mu.Unlock()
+		w.dropped.With("inflight").Inc()
+		return false
+	}
+	w.inflight[req.Peer] = true
+	w.mu.Unlock()
+	select {
+	case w.ckptIn <- req:
+		w.requests.Inc()
+		w.depth.Add(1)
+		return true
+	default:
+		w.clearInflight(req.Peer)
+		w.dropped.With("full").Inc()
+		return false
+	}
+}
+
 // Close stops the workers and releases the queue. Requests still queued
 // are dropped; the laggards they belonged to simply re-ask. Safe to
 // call more than once.
@@ -176,8 +224,26 @@ func (w *Worker) run() {
 			start := time.Now()
 			w.process(req)
 			w.latency.Observe(time.Since(start).Seconds())
+		case req := <-w.ckptIn:
+			w.depth.Add(-1)
+			start := time.Now()
+			w.processCheckpoint(req)
+			w.latency.Observe(time.Since(start).Seconds())
 		}
 	}
+}
+
+// processCheckpoint ships the latest certified checkpoint to a peer. The
+// store caches the encoded blob, so this is a map read plus one send.
+func (w *Worker) processCheckpoint(req core.CheckpointRequest) {
+	defer w.clearInflight(req.Peer)
+	raw, round, ok := w.checkpoints.LatestEncoded()
+	if !ok || round <= req.MinRound {
+		return // raced with retention or the peer advanced; it will re-ask
+	}
+	w.transfers.Inc()
+	// Resync-marked: the transfer rides the laggard's priority lane.
+	_ = w.sender.Send(req.Peer, &types.Bundle{Messages: []types.Message{&types.CheckpointMsg{Blob: raw}}, Resync: true})
 }
 
 // process signs the requested rounds and unicasts the batch. Rounds

@@ -40,7 +40,7 @@ func simBeacon(t *testing.T, rounds int) *beacon.Simulated {
 				t.Fatal(err)
 			}
 			sh.Round = types.Round(k)
-			if err := s.AddShare(sh); err != nil {
+			if _, err := s.AddShare(sh); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -150,17 +150,18 @@ func (b *Beacon) CachedShareForRound(k types.Round) (*types.BeaconShare, bool) {
 
 // AddShare records a received share. Verification is deferred to Reveal
 // if R_{k−1} is still unknown; conspicuously malformed shares are
-// rejected immediately.
-func (b *Beacon) AddShare(s *types.BeaconShare) error {
+// rejected immediately. The bool reports whether the share was newly
+// admitted (false for duplicates).
+func (b *Beacon) AddShare(s *types.BeaconShare) (bool, error) {
 	if s.Signer < 0 || int(s.Signer) >= b.pub.N {
-		return fmt.Errorf("beacon: signer %d out of range", s.Signer)
+		return false, fmt.Errorf("beacon: signer %d out of range", s.Signer)
 	}
 	if s.Round == 0 {
-		return fmt.Errorf("beacon: share for genesis round")
+		return false, fmt.Errorf("beacon: share for genesis round")
 	}
 	decoded, err := thresig.DecodeSigShare(int(s.Signer), s.Share)
 	if err != nil {
-		return fmt.Errorf("beacon: malformed share: %w", err)
+		return false, fmt.Errorf("beacon: malformed share: %w", err)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -170,10 +171,10 @@ func (b *Beacon) AddShare(s *types.BeaconShare) error {
 		b.shares[s.Round] = m
 	}
 	if _, dup := m[s.Signer]; dup {
-		return nil
+		return false, nil
 	}
 	m[s.Signer] = decoded
-	return nil
+	return true, nil
 }
 
 // ShareCount returns the number of (not yet verified) shares held for a
@@ -308,6 +309,20 @@ func (b *Beacon) Prune(before types.Round) {
 	b.own.pruneBefore(before)
 	if before > b.prunedBefore {
 		b.prunedBefore = before
+	}
+}
+
+// InstallDigest seeds the digest chain with an externally verified
+// H(R_k), typically from a certified checkpoint. The digest chains —
+// the round-(k+1) beacon signs (k+1, H(R_k)) — so installing round k's
+// digest is exactly what a restored party needs to verify and produce
+// shares from round k+1 onward. An already-known digest is kept (the
+// chain is unique, so they cannot disagree among honest inputs).
+func (b *Beacon) InstallDigest(k types.Round, d hash.Digest) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.digests[k]; !ok {
+		b.digests[k] = d
 	}
 }
 

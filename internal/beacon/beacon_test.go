@@ -38,7 +38,7 @@ func advance(t testing.TB, bs []*Beacon, k types.Round) {
 	}
 	for _, b := range bs {
 		for _, s := range shares {
-			if err := b.AddShare(s); err != nil {
+			if _, err := b.AddShare(s); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -73,10 +73,10 @@ func TestRevealNeedsQuorum(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := bs[6]
-	if err := b.AddShare(s0); err != nil {
+	if _, err := b.AddShare(s0); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.AddShare(s1); err != nil {
+	if _, err := b.AddShare(s1); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := b.Reveal(1); ok {
@@ -86,7 +86,7 @@ func TestRevealNeedsQuorum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.AddShare(s2); err != nil {
+	if _, err := b.AddShare(s2); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := b.Reveal(1); !ok {
@@ -99,7 +99,7 @@ func TestRevealSurvivesCorruptShares(t *testing.T) {
 	b := bs[3]
 	// A garbage share from a corrupt party must not block revelation.
 	garbage := &types.BeaconShare{Round: 1, Signer: 0, Share: make([]byte, 50)}
-	if err := b.AddShare(garbage); err == nil {
+	if _, err := b.AddShare(garbage); err == nil {
 		t.Fatal("malformed share accepted")
 	}
 	// A well-formed share signed with the wrong key is caught at Combine.
@@ -108,15 +108,15 @@ func TestRevealSurvivesCorruptShares(t *testing.T) {
 		t.Fatal(err)
 	}
 	wrongKey.Signer = 0 // claim to be party 0
-	if err := b.AddShare(wrongKey); err != nil {
+	if _, err := b.AddShare(wrongKey); err != nil {
 		t.Fatal(err) // structurally fine, accepted...
 	}
 	s1, _ := bs[1].ShareForRound(1)
 	s2, _ := bs[2].ShareForRound(1)
-	if err := b.AddShare(s1); err != nil {
+	if _, err := b.AddShare(s1); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.AddShare(s2); err != nil {
+	if _, err := b.AddShare(s2); err != nil {
 		t.Fatal(err)
 	}
 	d, ok := b.Reveal(1)
@@ -157,7 +157,7 @@ func TestLateVerification(t *testing.T) {
 		round2 = append(round2, s)
 	}
 	for _, s := range round2 {
-		if err := lag.AddShare(s); err != nil {
+		if _, err := lag.AddShare(s); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -170,7 +170,7 @@ func TestLateVerification(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := lag.AddShare(s); err != nil {
+		if _, err := lag.AddShare(s); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,10 +286,10 @@ func TestLeaderDistributionRoughlyUniform(t *testing.T) {
 
 func TestAddShareValidation(t *testing.T) {
 	bs := cluster(t, 4)
-	if err := bs[0].AddShare(&types.BeaconShare{Round: 1, Signer: 99, Share: nil}); err == nil {
+	if _, err := bs[0].AddShare(&types.BeaconShare{Round: 1, Signer: 99, Share: nil}); err == nil {
 		t.Fatal("out-of-range signer accepted")
 	}
-	if err := bs[0].AddShare(&types.BeaconShare{Round: 0, Signer: 1, Share: nil}); err == nil {
+	if _, err := bs[0].AddShare(&types.BeaconShare{Round: 0, Signer: 1, Share: nil}); err == nil {
 		t.Fatal("genesis-round share accepted")
 	}
 }

@@ -95,16 +95,16 @@ func (b *BLS) CachedShareForRound(k types.Round) (*types.BeaconShare, bool) {
 // AddShare implements Source; shares are structurally validated here and
 // cryptographically verified at Reveal (which may happen later, once
 // R_{k−1} is known).
-func (b *BLS) AddShare(s *types.BeaconShare) error {
+func (b *BLS) AddShare(s *types.BeaconShare) (bool, error) {
 	if s.Signer < 0 || int(s.Signer) >= b.n {
-		return fmt.Errorf("beacon: signer %d out of range", s.Signer)
+		return false, fmt.Errorf("beacon: signer %d out of range", s.Signer)
 	}
 	if s.Round == 0 {
-		return fmt.Errorf("beacon: share for genesis round")
+		return false, fmt.Errorf("beacon: share for genesis round")
 	}
 	pt, err := bls.DecodeG1(s.Share)
 	if err != nil {
-		return fmt.Errorf("beacon: malformed BLS share: %w", err)
+		return false, fmt.Errorf("beacon: malformed BLS share: %w", err)
 	}
 	m := b.shares[s.Round]
 	if m == nil {
@@ -112,10 +112,10 @@ func (b *BLS) AddShare(s *types.BeaconShare) error {
 		b.shares[s.Round] = m
 	}
 	if _, dup := m[s.Signer]; dup {
-		return nil
+		return false, nil
 	}
 	m[s.Signer] = &bls.SigShare{Index: int(s.Signer), Sig: bls.SignatureFromPoint(pt)}
-	return nil
+	return true, nil
 }
 
 // ShareCount implements Source.
@@ -225,6 +225,13 @@ func (b *BLS) Prune(before types.Round) {
 	b.own.pruneBefore(before)
 	if before > b.prunedBefore {
 		b.prunedBefore = before
+	}
+}
+
+// InstallDigest implements Source.
+func (b *BLS) InstallDigest(k types.Round, d hash.Digest) {
+	if _, ok := b.digests[k]; !ok {
+		b.digests[k] = d
 	}
 }
 

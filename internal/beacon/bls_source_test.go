@@ -39,7 +39,7 @@ func TestBLSBeaconAgreesAcrossParties(t *testing.T) {
 		var ref [32]byte
 		for i, b := range bs {
 			for _, s := range shares {
-				if err := b.AddShare(s); err != nil {
+				if _, err := b.AddShare(s); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -66,13 +66,13 @@ func TestBLSBeaconAgreesAcrossParties(t *testing.T) {
 
 func TestBLSBeaconRejectsGarbageShares(t *testing.T) {
 	bs := blsCluster(t, 4)
-	if err := bs[0].AddShare(&types.BeaconShare{Round: 1, Signer: 1, Share: []byte{1, 2, 3}}); err == nil {
+	if _, err := bs[0].AddShare(&types.BeaconShare{Round: 1, Signer: 1, Share: []byte{1, 2, 3}}); err == nil {
 		t.Fatal("malformed share accepted")
 	}
-	if err := bs[0].AddShare(&types.BeaconShare{Round: 0, Signer: 1, Share: make([]byte, 96)}); err == nil {
+	if _, err := bs[0].AddShare(&types.BeaconShare{Round: 0, Signer: 1, Share: make([]byte, 96)}); err == nil {
 		t.Fatal("genesis-round share accepted")
 	}
-	if err := bs[0].AddShare(&types.BeaconShare{Round: 1, Signer: 9, Share: make([]byte, 96)}); err == nil {
+	if _, err := bs[0].AddShare(&types.BeaconShare{Round: 1, Signer: 9, Share: make([]byte, 96)}); err == nil {
 		t.Fatal("out-of-range signer accepted")
 	}
 }
@@ -86,7 +86,7 @@ func TestBLSBeaconQuorumEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bs[3].AddShare(s0); err != nil {
+	if _, err := bs[3].AddShare(s0); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := bs[3].Reveal(1); ok {
@@ -98,7 +98,7 @@ func TestBLSBeaconQuorumEnforced(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad.Signer = 1
-	if err := bs[3].AddShare(bad); err != nil {
+	if _, err := bs[3].AddShare(bad); err != nil {
 		t.Fatal(err) // structurally fine
 	}
 	if _, ok := bs[3].Reveal(1); ok {
@@ -108,7 +108,7 @@ func TestBLSBeaconQuorumEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bs[3].AddShare(s1); err != nil {
+	if _, err := bs[3].AddShare(s1); err != nil {
 		t.Fatal(err)
 	}
 	// Forged share for signer 1 occupies the slot... the real one is
@@ -117,7 +117,7 @@ func TestBLSBeaconQuorumEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bs[3].AddShare(s2); err != nil {
+	if _, err := bs[3].AddShare(s2); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := bs[3].Reveal(1); !ok {

@@ -194,7 +194,7 @@ func TestSimulatedConcurrentAccess(t *testing.T) {
 	s := NewSimulated(4, 0, []byte("genesis"))
 	fill := func(k types.Round) {
 		for p := types.PartyID(0); p < 4; p++ {
-			_ = s.AddShare(&types.BeaconShare{Round: k, Signer: p, Share: make([]byte, thresig.SigShareLen)})
+			_, _ = s.AddShare(&types.BeaconShare{Round: k, Signer: p, Share: make([]byte, thresig.SigShareLen)})
 		}
 		s.Reveal(k)
 	}

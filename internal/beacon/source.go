@@ -24,8 +24,11 @@ type Source interface {
 	// share rounds can be answered inline and which must be deferred to
 	// the async backfill worker.
 	CachedShareForRound(k types.Round) (*types.BeaconShare, bool)
-	// AddShare records a received share (self-shares included).
-	AddShare(s *types.BeaconShare) error
+	// AddShare records a received share (self-shares included). The bool
+	// reports whether the share was newly admitted (false for duplicates),
+	// which the engine's write-ahead log uses to persist each distinct
+	// share exactly once.
+	AddShare(s *types.BeaconShare) (bool, error)
 	// ShareCount reports the number of shares held for round k.
 	ShareCount(k types.Round) int
 	// Reveal attempts to compute R_k from the held shares.
@@ -42,6 +45,10 @@ type Source interface {
 	Leader(k types.Round) (types.PartyID, bool)
 	// Prune discards state for rounds before the given round.
 	Prune(before types.Round)
+	// InstallDigest seeds the digest chain with an externally verified
+	// H(R_k) — from a certified checkpoint — so a restored party can
+	// verify and sign round k+1 immediately without the pruned history.
+	InstallDigest(k types.Round, d hash.Digest)
 }
 
 var _ Source = (*Beacon)(nil)
@@ -126,15 +133,15 @@ func (s *Simulated) CachedShareForRound(k types.Round) (*types.BeaconShare, bool
 }
 
 // AddShare implements Source.
-func (s *Simulated) AddShare(sh *types.BeaconShare) error {
+func (s *Simulated) AddShare(sh *types.BeaconShare) (bool, error) {
 	if sh.Signer < 0 || int(sh.Signer) >= s.n {
-		return fmt.Errorf("beacon: signer %d out of range", sh.Signer)
+		return false, fmt.Errorf("beacon: signer %d out of range", sh.Signer)
 	}
 	if sh.Round == 0 {
-		return fmt.Errorf("beacon: share for genesis round")
+		return false, fmt.Errorf("beacon: share for genesis round")
 	}
 	if len(sh.Share) != thresig.SigShareLen {
-		return fmt.Errorf("beacon: malformed share")
+		return false, fmt.Errorf("beacon: malformed share")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -143,8 +150,11 @@ func (s *Simulated) AddShare(sh *types.BeaconShare) error {
 		m = make(map[types.PartyID]struct{})
 		s.sharesSeen[sh.Round] = m
 	}
+	if _, dup := m[sh.Signer]; dup {
+		return false, nil
+	}
 	m[sh.Signer] = struct{}{}
-	return nil
+	return true, nil
 }
 
 // ShareCount implements Source.
@@ -255,6 +265,15 @@ func (s *Simulated) Prune(before types.Round) {
 	s.own.pruneBefore(before)
 	if before > s.minRound {
 		s.minRound = before
+	}
+}
+
+// InstallDigest implements Source.
+func (s *Simulated) InstallDigest(k types.Round, d hash.Digest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.digests[k]; !ok {
+		s.digests[k] = d
 	}
 }
 

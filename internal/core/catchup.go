@@ -59,6 +59,20 @@ func newCatchup(cfg Config) *Catchup {
 	}
 }
 
+// allowReply charges the per-peer rate limiter for a reply outside
+// Respond's own accounting (the checkpoint-serving path). It returns
+// false when the peer already used its reply slot this interval.
+func (c *Catchup) allowReply(from types.PartyID, now time.Duration) bool {
+	if c.interval <= 0 {
+		return false
+	}
+	if last, ok := c.repliedAt[from]; ok && now < last+c.interval {
+		return false
+	}
+	c.repliedAt[from] = now
+	return true
+}
+
 // Respond builds the inline portion of a catch-up response for a peer
 // whose Status reports round st.Round while we are at `round`, reading
 // artifacts from p and deferring uncached beacon-share signing to the

@@ -35,7 +35,7 @@ func revealedSim(t *testing.T, n int, self types.PartyID, rounds int) *beacon.Si
 	for k := 1; k <= rounds; k++ {
 		for p := types.PartyID(0); int(p) < n; p++ {
 			sh := &types.BeaconShare{Round: types.Round(k), Signer: p, Share: make([]byte, thresig.SigShareLen)}
-			if err := s.AddShare(sh); err != nil {
+			if _, err := s.AddShare(sh); err != nil {
 				t.Fatal(err)
 			}
 		}

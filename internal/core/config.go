@@ -12,11 +12,26 @@ import (
 	"time"
 
 	"icc/internal/beacon"
+	"icc/internal/checkpoint"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
 	"icc/internal/pool"
 	"icc/internal/types"
+	"icc/internal/wal"
 )
+
+// DefaultPruneDepth is the standard pool/beacon retention horizon: how
+// many rounds of artifacts behind the finalized watermark a node keeps
+// for serving laggards. Every deployment entry point (iccnode, iccsim,
+// the experiment harness) shares this value unless explicitly tuned.
+//
+// Retention and checkpointing interlock: a laggard whose gap exceeds
+// PruneDepth can no longer be healed by artifact resync (its peers have
+// pruned the rounds it needs) and must instead install a certified
+// checkpoint. CheckpointInterval should therefore be comfortably below
+// PruneDepth, so that by the time artifacts for a round are pruned, a
+// checkpoint at or above that round already exists.
+const DefaultPruneDepth types.Round = 128
 
 // PayloadSource provides block payloads. getPayload(B_p) of Fig. 1: the
 // implementation may inspect the parent and, through lookup, the whole
@@ -88,6 +103,21 @@ type Hooks struct {
 	// labels; it feeds the icc_verify_rejects_total counter. Duplicate
 	// deliveries are not rejects and do not fire this hook.
 	OnRejectedMessage func(from types.PartyID, reason string)
+	// OnCheckpoint fires when the party assembles a certified checkpoint
+	// for round k (its own share plus t more matching ones) and persists
+	// it to the local store.
+	OnCheckpoint func(k types.Round, now time.Duration)
+	// OnCheckpointInstalled fires when the party installs a certified
+	// checkpoint received from a peer, jumping its frontier to round k.
+	OnCheckpointInstalled func(k types.Round, now time.Duration)
+	// OnCheckpointServed fires when the party answers a behind-horizon
+	// peer's Status with its latest certified checkpoint (round k).
+	OnCheckpointServed func(peer types.PartyID, k types.Round, now time.Duration)
+	// OnResyncLost fires once when the party detects that its gap to the
+	// cluster's finalization frontier exceeds PruneDepth with no
+	// checkpoint path configured: peers have pruned the artifacts it
+	// needs, so resync polling can never succeed.
+	OnResyncLost func(gap types.Round, now time.Duration)
 }
 
 // Config assembles an engine.
@@ -164,6 +194,33 @@ type Config struct {
 	// beacon.DefaultShareCacheSize, negative disables caching. Callers
 	// passing their own Beacon configure the cache on it directly.
 	ShareCacheSize int
+
+	// WAL, if non-nil, receives every artifact the engine admits or
+	// creates, and is flushed (group-commit fsync) before any output
+	// leaves the engine — the sync-before-send invariant that makes a
+	// crash-restart unable to equivocate. Nil disables persistence (the
+	// simnet/experiment default).
+	WAL *wal.Log
+
+	// CheckpointInterval, if positive, makes the engine propose a signed
+	// checkpoint at every finalized round divisible by it. Keep it well
+	// below PruneDepth (see DefaultPruneDepth) so laggards always find a
+	// checkpoint newer than the artifact prune horizon.
+	CheckpointInterval types.Round
+
+	// Checkpoints, if non-nil, persists certified checkpoints and serves
+	// the latest one to peers stuck behind the prune horizon.
+	Checkpoints *checkpoint.Store
+
+	// StateSnapshot captures the replicated state immediately after a
+	// commit, for inclusion in checkpoints. Nil checkpoints an empty
+	// state (protocol-only deployments).
+	StateSnapshot func() []byte
+
+	// StateRestore replaces the replicated state with a checkpoint
+	// snapshot when installing a certified checkpoint from a peer. Nil
+	// skips restoration.
+	StateRestore func(state []byte) error
 }
 
 // withDefaults fills in derived fields.

@@ -49,7 +49,7 @@ func newChoreography(t *testing.T, n int, underTestRank int, deltaBound time.Dur
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ref.AddShare(s); err != nil {
+		if _, err := ref.AddShare(s); err != nil {
 			t.Fatal(err)
 		}
 	}

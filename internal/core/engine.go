@@ -4,8 +4,10 @@ import (
 	"sort"
 	"time"
 
+	"icc/internal/checkpoint"
 	"icc/internal/crypto"
 	"icc/internal/crypto/hash"
+	"icc/internal/crypto/multisig"
 	"icc/internal/crypto/sig"
 	"icc/internal/engine"
 	"icc/internal/pool"
@@ -53,6 +55,12 @@ type Engine struct {
 	lastFinalHash hash.Digest   // block hash at kmax (zero until first commit)
 	catchup       *Catchup      // answers lagging peers' Status messages
 
+	// Durability state (checkpointing.go, recover.go).
+	replaying bool // WAL replay in progress: suppress new signatures and sends
+	lost      bool // behind the prune horizon with no checkpoint path (resync.go)
+	ckpts     map[types.Round]*pendingCheckpoint
+	ckptPub   *multisig.PublicInfo // S_final keys at t+1 under DomainCheckpoint
+
 	out []engine.Output
 }
 
@@ -67,6 +75,8 @@ func NewEngine(cfg Config) *Engine {
 		round:   1,
 		pending: make(map[types.Round]struct{}),
 		catchup: newCatchup(cfg),
+		ckpts:   make(map[types.Round]*pendingCheckpoint),
+		ckptPub: checkpoint.PublicInfo(cfg.Keys),
 	}
 	e.resetRoundState()
 	return e
@@ -105,11 +115,21 @@ func (e *Engine) dntry(r types.Rank) time.Duration {
 }
 
 // Init implements engine.Engine: "broadcast a share of the round-1
-// random beacon" (Fig. 1, first line).
+// random beacon" (Fig. 1, first line). After Recover the working round
+// may be past 1 and possibly mid-round; the same code re-announces the
+// recovered frontier's shares and restarts the round clock.
 func (e *Engine) Init(now time.Duration) []engine.Output {
 	e.touchResync(now)
 	e.waitSince = now
-	e.broadcastBeaconShare(1)
+	e.broadcastBeaconShare(e.round)
+	if e.inRound {
+		// Recovered mid-round: the pipelined next-round share was already
+		// announced pre-crash, but re-announcing is cheap and heals the
+		// case where the crash hit between fsync and send. The round clock
+		// restarts — delays stretch, which only costs liveness slack.
+		e.broadcastBeaconShare(e.round + 1)
+		e.t0 = now
+	}
 	e.progress(now)
 	return e.drain()
 }
@@ -121,19 +141,41 @@ func (e *Engine) HandleMessage(from types.PartyID, m types.Message, now time.Dur
 	return e.drain()
 }
 
-// Tick implements engine.Engine.
+// Tick implements engine.Engine. Ticks additionally flush the WAL even
+// when no output is due, bounding how long an admitted-but-unsynced
+// artifact can linger in the group-commit buffer.
 func (e *Engine) Tick(now time.Duration) []engine.Output {
 	e.maybeResync(now)
 	e.progress(now)
-	return e.drain()
+	out := e.drain()
+	e.cfg.WAL.Flush()
+	return out
 }
 
-// drain returns and clears the output buffer.
+// drain returns and clears the output buffer. When anything is about to
+// leave the engine, the WAL is flushed first: no signature we issued may
+// reach the network before it is durable (sync-before-send), otherwise a
+// crash-restart could forget having signed and equivocate.
 func (e *Engine) drain() []engine.Output {
 	out := e.out
 	e.out = nil
+	if len(out) > 0 {
+		e.cfg.WAL.Flush()
+	}
 	return out
 }
+
+// logArtifact appends an admitted or self-created artifact to the WAL.
+// No-op during replay (the record being replayed is already durable).
+func (e *Engine) logArtifact(m types.Message) {
+	if e.replaying {
+		return
+	}
+	e.cfg.WAL.Append(m)
+}
+
+// Replaying reports whether a WAL replay is in progress (Recover).
+func (e *Engine) Replaying() bool { return e.replaying }
 
 // emit queues a broadcast.
 func (e *Engine) emit(m types.Message) {
@@ -159,33 +201,52 @@ func (e *Engine) ingest(from types.PartyID, m types.Message, now time.Duration) 
 			e.reject(from, crypto.Mismatch)
 			return
 		}
-		e.pool.AddBlock(v.Block)
+		if e.pool.AddBlock(v.Block) {
+			e.logArtifact(v)
+		}
 	case *types.Authenticator:
-		if _, err := e.pool.AddAuthenticator(v); err != nil {
+		if added, err := e.pool.AddAuthenticator(v); err != nil {
 			e.reject(from, err)
+		} else if added {
+			e.logArtifact(v)
 		}
 	case *types.NotarizationShare:
-		if _, err := e.pool.AddNotarizationShare(v); err != nil {
+		if added, err := e.pool.AddNotarizationShare(v); err != nil {
 			e.reject(from, err)
+		} else if added {
+			e.logArtifact(v)
 		}
 	case *types.Notarization:
-		if _, err := e.pool.AddNotarization(v); err != nil {
+		if added, err := e.pool.AddNotarization(v); err != nil {
 			e.reject(from, err)
+		} else if added {
+			e.logArtifact(v)
 		}
 	case *types.FinalizationShare:
-		if _, err := e.pool.AddFinalizationShare(v); err != nil {
+		if added, err := e.pool.AddFinalizationShare(v); err != nil {
 			e.reject(from, err)
+		} else if added {
+			e.logArtifact(v)
 		}
 	case *types.Finalization:
 		added, err := e.pool.AddFinalization(v)
 		if err != nil {
 			e.reject(from, err)
 		}
-		if added && v.Round > e.finalSeen {
-			e.finalSeen = v.Round
+		if added {
+			e.logArtifact(v)
+			if v.Round > e.finalSeen {
+				e.finalSeen = v.Round
+			}
 		}
 	case *types.BeaconShare:
-		_ = e.cfg.Beacon.AddShare(v)
+		if added, _ := e.cfg.Beacon.AddShare(v); added {
+			e.logArtifact(v)
+		}
+	case *types.CheckpointShare:
+		e.handleCheckpointShare(from, v, now)
+	case *types.CheckpointMsg:
+		e.handleCheckpointMsg(from, v, now)
 	case *types.Status:
 		e.handleStatus(from, v, now)
 	default:
@@ -226,11 +287,19 @@ func (e *Engine) progress(now time.Duration) {
 // broadcastBeaconShare signs and broadcasts this party's share of the
 // round-k beacon (and records it locally).
 func (e *Engine) broadcastBeaconShare(k types.Round) {
+	if e.replaying {
+		// Our own shares from before the crash arrive as WAL records; the
+		// deterministic signature would be identical anyway, and nothing
+		// may be emitted during replay.
+		return
+	}
 	share, err := e.cfg.Beacon.ShareForRound(k)
 	if err != nil {
 		return // R_{k−1} unknown; caller's state machine retries later
 	}
-	_ = e.cfg.Beacon.AddShare(share)
+	if added, _ := e.cfg.Beacon.AddShare(share); added {
+		e.logArtifact(share)
+	}
 	// While replaying rounds the rest of the cluster has already
 	// finalized (catch-up after an outage), our shares for those rounds
 	// are useless to everyone else — keep them local.
@@ -258,6 +327,9 @@ func (e *Engine) tryEnterRound(now time.Duration) bool {
 	e.t0 = now
 	e.inRound = true
 	e.touchResync(now)
+	if e.replaying {
+		return true
+	}
 	if e.cfg.Hooks.OnBeaconRecovered != nil {
 		e.cfg.Hooks.OnBeaconRecovered(k, now-e.waitSince, now)
 	}
@@ -288,6 +360,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 			}
 			nz := &types.Notarization{Round: k, Proposer: b.Proposer, BlockHash: h2, Agg: agg.Encode()}
 			if added, _ := e.pool.AddNotarization(nz); added {
+				e.logArtifact(nz)
 				h, ok = h2, true
 				break
 			}
@@ -302,15 +375,22 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 	if k > e.finalSeen {
 		e.emit(e.pool.Notarization(h))
 	}
-	// If N ⊆ {B}, broadcast a finalization share for B.
-	if len(e.notarized) == 0 || (len(e.notarized) == 1 && e.notarized[h]) {
+	// If N ⊆ {B}, broadcast a finalization share for B. NEVER during
+	// replay: the replayed round state cannot prove the pre-crash N was
+	// this small, and a share the pre-crash process withheld could,
+	// combined with a share it issued for a sibling block, finalize two
+	// blocks in one round. Only shares recorded in the WAL re-enter the
+	// pool during recovery.
+	if !e.replaying && (len(e.notarized) == 0 || (len(e.notarized) == 1 && e.notarized[h])) {
 		b := e.pool.Block(h)
 		msg := types.SigningBytes(k, b.Proposer, h)
 		fs := &types.FinalizationShare{
 			Round: k, Proposer: b.Proposer, BlockHash: h, Signer: e.cfg.Self,
 			Sig: sig.Sign(e.cfg.Priv.Final.Key, types.DomainFinalization, msg),
 		}
-		_, _ = e.pool.AddFinalizationShare(fs)
+		if added, _ := e.pool.AddFinalizationShare(fs); added {
+			e.logArtifact(fs)
+		}
 		if k > e.finalSeen {
 			e.emit(fs)
 		}
@@ -318,7 +398,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 			e.cfg.Hooks.OnFinalizationShare(k, now)
 		}
 	}
-	if e.cfg.Hooks.OnFinishRound != nil {
+	if !e.replaying && e.cfg.Hooks.OnFinishRound != nil {
 		e.cfg.Hooks.OnFinishRound(k, now)
 	}
 	e.adaptDelays()
@@ -350,9 +430,12 @@ func (e *Engine) adaptDelays() {
 	}
 }
 
-// tryPropose implements clause (b) of Fig. 1.
+// tryPropose implements clause (b) of Fig. 1. Suppressed during replay:
+// the pre-crash proposal, if any, re-enters the pool from the WAL, and
+// proposing a second, different block for the same round would be
+// equivocation.
 func (e *Engine) tryPropose(now time.Duration) bool {
-	if e.proposed || now < e.t0+e.dprop(e.myRank) {
+	if e.replaying || e.proposed || now < e.t0+e.dprop(e.myRank) {
 		return false
 	}
 	k := e.round
@@ -368,8 +451,12 @@ func (e *Engine) tryPropose(now time.Duration) bool {
 		Round: k, Proposer: e.cfg.Self, BlockHash: h,
 		Sig: sig.Sign(e.cfg.Priv.Auth, types.DomainAuthenticator, types.SigningBytes(k, e.cfg.Self, h)),
 	}
-	e.pool.AddBlock(b)
-	_, _ = e.pool.AddAuthenticator(auth)
+	if e.pool.AddBlock(b) {
+		e.logArtifact(&types.BlockMsg{Block: b})
+	}
+	if added, _ := e.pool.AddAuthenticator(auth); added {
+		e.logArtifact(auth)
+	}
 	bundle := &types.Bundle{Messages: []types.Message{&types.BlockMsg{Block: b}, auth}}
 	if nz := e.pool.Notarization(parentHash); nz != nil {
 		bundle.Messages = append(bundle.Messages, nz)
@@ -420,7 +507,14 @@ func (e *Engine) candidates() []candidate {
 
 // tryEchoNotarize implements clause (c) of Fig. 1: echo qualifying
 // blocks and either notarization-share them or disqualify their rank.
+// Suppressed during replay: pre-crash shares re-enter from the WAL, and
+// rankShared/notarized are rebuilt from them afterwards
+// (rebuildRoundFlags) — signing fresh shares here could put two blocks
+// of one rank into N, which the pre-crash process may not have done.
 func (e *Engine) tryEchoNotarize(now time.Duration) bool {
+	if e.replaying {
+		return false
+	}
 	cs := e.candidates()
 	moved := false
 	for _, c := range cs {
@@ -470,7 +564,9 @@ func (e *Engine) tryEchoNotarize(now time.Duration) bool {
 				Round: e.round, Proposer: b.Proposer, BlockHash: c.h, Signer: e.cfg.Self,
 				Sig: e.cfg.Priv.Notary.Sign(types.DomainNotarization, msg).Signature,
 			}
-			_, _ = e.pool.AddNotarizationShare(ns)
+			if added, _ := e.pool.AddNotarizationShare(ns); added {
+				e.logArtifact(ns)
+			}
 			e.emit(ns)
 			if e.cfg.Hooks.OnNotarizationShare != nil {
 				e.cfg.Hooks.OnNotarizationShare(e.round, now)
@@ -531,6 +627,7 @@ func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
 			if added, _ := e.pool.AddFinalization(fin); !added {
 				continue
 			}
+			e.logArtifact(fin)
 			if k > e.finalSeen {
 				e.finalSeen = k
 			}
@@ -543,9 +640,13 @@ func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
 		}
 		e.emit(e.pool.Finalization(h))
 		for _, b := range chain {
+			// OnCommit runs even during replay: it is how the application
+			// state machine is rebuilt to the pre-crash frontier.
 			if e.cfg.Hooks.OnCommit != nil {
 				e.cfg.Hooks.OnCommit(b, now)
 			}
+			e.kmax = b.Round
+			e.maybeCheckpoint(b, now)
 		}
 		e.kmax = k
 		e.lastFinalHash = h

@@ -77,5 +77,29 @@ func ObservedHooks(ob *obs.Observer, base Hooks) Hooks {
 				base.OnRejectedMessage(from, reason)
 			}
 		},
+		OnCheckpoint: func(k types.Round, now time.Duration) {
+			ob.Checkpoint(uint64(k), now)
+			if base.OnCheckpoint != nil {
+				base.OnCheckpoint(k, now)
+			}
+		},
+		OnCheckpointInstalled: func(k types.Round, now time.Duration) {
+			ob.CheckpointInstalled(uint64(k), now)
+			if base.OnCheckpointInstalled != nil {
+				base.OnCheckpointInstalled(k, now)
+			}
+		},
+		OnCheckpointServed: func(peer types.PartyID, k types.Round, now time.Duration) {
+			ob.CheckpointServed(int(peer), uint64(k), now)
+			if base.OnCheckpointServed != nil {
+				base.OnCheckpointServed(peer, k, now)
+			}
+		},
+		OnResyncLost: func(gap types.Round, now time.Duration) {
+			ob.ResyncLost(uint64(gap), now)
+			if base.OnResyncLost != nil {
+				base.OnResyncLost(gap, now)
+			}
+		},
 	}
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"icc/internal/checkpoint"
+	"icc/internal/types"
+)
+
+// Recover rebuilds the engine's protocol state from durable storage —
+// the newest locally stored checkpoint (if any) followed by a WAL
+// replay — and returns the working round it resumed at. Call it after
+// NewEngine and before Init; a fresh node (empty WAL, empty store)
+// recovers to round 1 instantly.
+//
+// Replay feeds every WAL record through the ordinary ingest path with
+// all signature-creating clauses suppressed (the `replaying` flag):
+// admission re-populates the pool and beacon, tryFinishRound advances
+// rounds as notarizations reappear, and OnCommit re-executes the chain
+// so the application state machine reaches the pre-crash frontier.
+// Nothing is emitted and nothing new is signed — the crash cannot be
+// parlayed into equivocation; only artifacts the pre-crash process made
+// durable (and therefore possibly sent) re-enter the world.
+func (e *Engine) Recover() (types.Round, error) {
+	e.replaying = true
+	defer func() {
+		e.replaying = false
+		e.out = nil
+	}()
+	// A locally stored checkpoint is our own past output, but disks rot
+	// and operators copy files around — verify anyway before trusting it
+	// as the chain root.
+	if cp, err := e.cfg.Checkpoints.Latest(); err == nil && cp != nil {
+		if err := checkpoint.Verify(e.cfg.Keys, cp); err == nil {
+			e.installCheckpoint(cp, 0)
+		}
+	}
+	if e.cfg.WAL != nil {
+		err := e.cfg.WAL.Replay(func(m types.Message) {
+			e.ingest(e.cfg.Self, m, 0)
+			e.progress(0)
+			// Replay must not resend: outputs queued by replayed clauses
+			// (notarization re-broadcasts, finalizations) are discarded.
+			e.out = e.out[:0]
+		})
+		if err != nil {
+			return e.round, fmt.Errorf("core: wal replay: %w", err)
+		}
+	}
+	e.rebuildRoundFlags()
+	return e.round, nil
+}
+
+// rebuildRoundFlags reconstructs the current round's own-action flags
+// (proposed, notarized, rankShared) from our own artifacts in the pool,
+// after a replay. These flags gate signature creation, so they must
+// reflect what the pre-crash process actually signed: N must contain
+// exactly the blocks we notarization-shared, or the restarted process
+// could issue a finalization share the pre-crash one was forbidden to
+// (tryFinishRound's N ⊆ {B} test), finalizing a block alongside a
+// sibling we endorsed.
+func (e *Engine) rebuildRoundFlags() {
+	if !e.inRound {
+		return // flags are only meaningful inside a round
+	}
+	k := e.round
+	for _, h := range e.pool.BlocksInRound(k) {
+		b := e.pool.Block(h)
+		if b == nil {
+			continue
+		}
+		if b.Proposer == e.cfg.Self && e.pool.Authenticator(h) != nil {
+			e.proposed = true
+		}
+		for _, ns := range e.pool.NotarShareMessages(h) {
+			if ns.Signer != e.cfg.Self {
+				continue
+			}
+			e.notarized[h] = true
+			if r, ok := e.rankOf[b.Proposer]; ok {
+				e.rankShared[r] = true
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"icc/internal/crypto/hash"
@@ -55,6 +56,31 @@ func (e *Engine) touchResync(now time.Duration) {
 	}
 }
 
+// ResyncLostError reports an unrecoverable lag: the gap to the
+// cluster's finalization frontier exceeds the artifact retention
+// horizon and no checkpoint path is configured, so Status polling can
+// never close it. The only ways forward are a checkpoint transfer
+// (configure CheckpointInterval cluster-wide) or re-seeding the node.
+type ResyncLostError struct {
+	Round      types.Round // the node's stuck working round
+	Frontier   types.Round // highest finalized round observed in the cluster
+	PruneDepth types.Round // the retention horizon that was exceeded
+}
+
+func (e *ResyncLostError) Error() string {
+	return fmt.Sprintf("resync lost: round %d is %d behind the finalized frontier %d, beyond the prune horizon %d with no checkpoint path",
+		e.Round, e.Frontier-e.Round, e.Frontier, e.PruneDepth)
+}
+
+// ResyncLost returns a *ResyncLostError when the engine has detected an
+// unrecoverable lag, nil otherwise. Surfaced by node status endpoints.
+func (e *Engine) ResyncLost() error {
+	if !e.lost {
+		return nil
+	}
+	return &ResyncLostError{Round: e.round, Frontier: e.finalSeen, PruneDepth: e.cfg.PruneDepth}
+}
+
 // maybeResync fires the stall handler when the round has been stuck for
 // a full interval.
 func (e *Engine) maybeResync(now time.Duration) {
@@ -62,6 +88,22 @@ func (e *Engine) maybeResync(now time.Duration) {
 		return
 	}
 	e.resyncAt = now + e.cfg.ResyncInterval
+	// Behind-prune-horizon detection: once the gap to the cluster's
+	// finalization frontier exceeds PruneDepth, every peer has pruned the
+	// artifacts we need, and without a checkpoint path the Status poll
+	// below degenerates into an infinite no-op loop. Flag it once and go
+	// quiet instead. With checkpointing configured the poll stays on —
+	// the same Status now solicits a checkpoint transfer.
+	if e.cfg.PruneDepth > 0 && e.finalSeen > e.round+e.cfg.PruneDepth && e.cfg.CheckpointInterval <= 0 {
+		if !e.lost {
+			e.lost = true
+			if e.cfg.Hooks.OnResyncLost != nil {
+				e.cfg.Hooks.OnResyncLost(e.finalSeen-e.round, now)
+			}
+		}
+		return
+	}
+	e.lost = false
 	e.statusSeq++
 	// Report the finalization frontier capped below the working round.
 	// After a jump-commit (tryCommitRound finalizing via a chain that
@@ -140,10 +182,16 @@ func (e *Engine) maybeResync(now time.Duration) {
 }
 
 // handleStatus answers a lagging peer's Status with a catch-up batch.
-// The heavy lifting lives in the Catchup component (catchup.go): the
-// engine clause only assembles the cheap inline bundle; uncached
-// beacon-share signing is deferred to the configured CatchupProvider.
+// Peers stuck behind our prune horizon get the latest certified
+// checkpoint instead (checkpointing.go) — the artifacts they need are
+// gone from the pool. The heavy lifting lives in the Catchup component
+// (catchup.go): the engine clause only assembles the cheap inline
+// bundle; uncached beacon-share signing is deferred to the configured
+// CatchupProvider.
 func (e *Engine) handleStatus(from types.PartyID, st *types.Status, now time.Duration) {
+	if e.maybeServeCheckpoint(from, st, now) {
+		return
+	}
 	if bundle := e.catchup.Respond(e.pool, from, st, e.round, e.lastFinalHash, now); bundle != nil {
 		e.out = append(e.out, engine.Unicast(from, bundle))
 	}

@@ -132,7 +132,7 @@ func iccAdaptiveRun(n int, delta, bound, window time.Duration, kappa int) int64 
 		DeltaBound: bound,
 		SimBeacon:  true,
 		Verify:     pool.VerifySharesOnly,
-		PruneDepth: 32,
+		PruneDepth: simPruneDepth,
 	}
 	var pubSeed []byte
 	opts.WrapEngine = func(p types.PartyID, e engine.Engine) engine.Engine {
@@ -151,7 +151,7 @@ func iccAdaptiveRun(n int, delta, bound, window time.Duration, kappa int) int64 
 				k := oracleRound + 1
 				for i := 0; i < n; i++ {
 					share := &types.BeaconShare{Round: k, Signer: types.PartyID(i), Share: make([]byte, 97)}
-					_ = oracle.AddShare(share)
+					_, _ = oracle.AddShare(share)
 				}
 				if _, ok := oracle.Reveal(k); !ok {
 					return false

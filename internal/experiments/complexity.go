@@ -56,7 +56,7 @@ func meanRoundMsgs(n int, behaviors map[types.PartyID]harness.Behavior, blocks i
 		Behaviors:  behaviors,
 		SimBeacon:  true,
 		Verify:     pool.VerifySharesOnly,
-		PruneDepth: 32,
+		PruneDepth: simPruneDepth,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -100,7 +100,7 @@ func RoundComplexity(scale Scale) *Table {
 		Behaviors:  behaviors,
 		SimBeacon:  true,
 		Verify:     pool.VerifySharesOnly,
-		PruneDepth: 64,
+		PruneDepth: 2 * simPruneDepth,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -179,7 +179,7 @@ func Robustness(scale Scale) *Table {
 				Behaviors:  behaviors,
 				SimBeacon:  true,
 				Verify:     pool.VerifySharesOnly,
-				PruneDepth: 32,
+				PruneDepth: simPruneDepth,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))

@@ -43,7 +43,7 @@ func Dissemination(scale Scale) *Table {
 				Payload:    core.SizedPayload{Size: size},
 				SimBeacon:  true,
 				Verify:     pool.VerifySharesOnly,
-				PruneDepth: 16,
+				PruneDepth: simPruneDepth / 2,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: %v", err))
@@ -106,7 +106,7 @@ func AblationDelays(scale Scale) *Table {
 			Epsilon:    eps,
 			SimBeacon:  true,
 			Verify:     pool.VerifySharesOnly,
-			PruneDepth: 32,
+			PruneDepth: simPruneDepth,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
@@ -134,7 +134,7 @@ func AblationDelays(scale Scale) *Table {
 			Adaptive:   adaptive,
 			SimBeacon:  true,
 			Verify:     pool.VerifySharesOnly,
-			PruneDepth: 32,
+			PruneDepth: simPruneDepth,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"icc/internal/beacon"
+	"icc/internal/checkpoint"
+	"icc/internal/clock"
+	"icc/internal/core"
+	"icc/internal/crypto/keys"
+	"icc/internal/pool"
+	rt "icc/internal/runtime"
+	"icc/internal/transport"
+	"icc/internal/types"
+	"icc/internal/verify"
+	"icc/internal/wal"
+)
+
+// Durability measures restart-to-caught-up time against the rounds the
+// cluster advanced while a node was down (E11): a live four-party
+// cluster runs, one party is killed without warning (kill -9 — its WAL
+// loses the unsynced tail), the survivors advance `gap` rounds, and the
+// victim restarts. Three configurations:
+//
+//   - in-memory (seed behavior): no persistence. The restarted process
+//     begins at round 1 with an empty pool and replays the entire chain
+//     through artifact resync. Beyond the peers' prune horizon the
+//     rounds it needs are gone and it flags itself resync-lost (LOST).
+//   - wal replay: crash-consistent WAL, no checkpoints. The restart
+//     recovers the pre-crash frontier locally and only the downtime gap
+//     crosses the network — but a gap beyond the prune horizon is still
+//     unrecoverable (LOST).
+//   - wal + checkpoints: full durability. Local restart resumes from
+//     the newest certified checkpoint plus the WAL suffix, and a gap
+//     beyond the prune horizon is closed by a checkpoint transfer from
+//     a peer, so no gap is fatal.
+//
+// Reported per run: the round the restarted process resumed at before
+// touching the network, the local recovery time, and the time from
+// restart to committing past the frontier the cluster had at restart.
+func Durability(scale Scale) *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "restart-to-caught-up time vs downtime gap, by durability configuration",
+		Columns: []string{"gap", "configuration", "resume", "recover", "converge"},
+		Notes: []string{
+			fmt.Sprintf("4 parties, in-process transport, prune horizon %d rounds, checkpoint every %d", e11PruneDepth, e11Interval),
+			"resume: finalized round after local recovery, before any network traffic (r1 = cold start)",
+			"recover: wall-clock time for WAL replay + checkpoint install on restart",
+			"converge: restart to committing past the restart-time frontier; LOST = flagged resync-lost; DNF = neither within 30 s",
+		},
+	}
+	// The largest gap deliberately exceeds the prune horizon: it is the
+	// row only the checkpoint-transfer path can survive.
+	gaps := []int{16, int(e11PruneDepth) - 16, int(e11PruneDepth) + 32}
+	modes := []e11Mode{
+		{name: "in-memory (seed behavior)"},
+		{name: "wal replay", wal: true},
+		{name: "wal + checkpoints", wal: true, ckpt: true},
+	}
+	for _, gap := range gaps {
+		g := scale.scaleInt(gap)
+		for _, m := range modes {
+			r := durabilityRun(g, m)
+			converge := "DNF"
+			if r.lost {
+				converge = "LOST"
+			} else if !r.dnf {
+				converge = fmt.Sprintf("%.2fs", r.converge.Seconds())
+			}
+			t.AddRow(fmt.Sprintf("%d", g), m.name,
+				fmt.Sprintf("r%d", r.resume),
+				fmt.Sprintf("%.0fms", r.recover.Seconds()*1000),
+				converge)
+		}
+	}
+	return t
+}
+
+const (
+	// e11PruneDepth is half the production default so the beyond-horizon
+	// row stays cheap to reach in wall-clock time; the interval keeps
+	// the documented margin (several boundaries per horizon).
+	e11PruneDepth = core.DefaultPruneDepth / 2
+	e11Interval   = e11PruneDepth / 4
+)
+
+type e11Mode struct {
+	name string
+	wal  bool
+	ckpt bool
+}
+
+type e11Result struct {
+	resume   types.Round   // finalized round right after local recovery
+	recover  time.Duration // local WAL replay + checkpoint install
+	converge time.Duration
+	dnf      bool
+	lost     bool
+}
+
+// durabilityRun runs one kill/gap/restart cycle for one configuration.
+func durabilityRun(gap int, mode e11Mode) e11Result {
+	const (
+		n      = 4
+		victim = 3
+	)
+	pub, privs, err := keys.Deal(rand.Reader, n)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	base, err := os.MkdirTemp("", "icc-e11-*")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	defer os.RemoveAll(base)
+	hub := transport.NewInproc(n)
+	clk := clock.NewWall()
+
+	var mu sync.Mutex
+	frontier := make([]types.Round, n)
+	states := make([][]byte, n)
+
+	wals := make([]*wal.Log, n)
+	stores := make([]*checkpoint.Store, n)
+	engines := make([]*core.Engine, n)
+	build := func(i int) *rt.Runner {
+		pid := types.PartyID(i)
+		var w *wal.Log
+		var s *checkpoint.Store
+		var ival types.Round
+		if mode.wal {
+			w, err = wal.Open(filepath.Join(base, fmt.Sprintf("party-%d", i), "wal"), wal.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+		}
+		if mode.ckpt {
+			s, err = checkpoint.OpenStore(filepath.Join(base, fmt.Sprintf("party-%d", i), "checkpoints"), checkpoint.StoreOptions{})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+			ival = e11Interval
+		}
+		wals[i], stores[i] = w, s
+		mu.Lock()
+		states[i] = nil
+		mu.Unlock()
+		eng := core.NewEngine(core.Config{
+			Self:               pid,
+			Keys:               pub,
+			Priv:               privs[i],
+			Beacon:             beacon.NewSimulated(n, pid, pub.GenesisSeed),
+			DeltaBound:         25 * time.Millisecond,
+			PruneDepth:         e11PruneDepth,
+			WAL:                w,
+			Checkpoints:        s,
+			CheckpointInterval: ival,
+			StateSnapshot: func() []byte {
+				mu.Lock()
+				defer mu.Unlock()
+				return append([]byte(nil), states[i]...)
+			},
+			StateRestore: func(st []byte) error {
+				mu.Lock()
+				defer mu.Unlock()
+				states[i] = append([]byte(nil), st...)
+				return nil
+			},
+			Pool: pool.Options{Policy: pool.VerifyPreVerified},
+			Hooks: core.Hooks{
+				OnCommit: func(b *types.Block, _ time.Duration) {
+					d := b.Hash()
+					mu.Lock()
+					states[i] = append(states[i], d[:]...)
+					if b.Round > frontier[i] {
+						frontier[i] = b.Round
+					}
+					mu.Unlock()
+				},
+			},
+		})
+		if _, err := eng.Recover(); err != nil {
+			panic(fmt.Sprintf("experiments: recover: %v", err))
+		}
+		engines[i] = eng
+		r := rt.NewRunner(eng, hub.Endpoint(pid), clk, n)
+		r.SetVerifyPipeline(verify.New(pool.NewVerifier(pub, pool.VerifyFull), verify.Options{}))
+		return r
+	}
+
+	runners := make([]*rt.Runner, n)
+	for i := 0; i < n; i++ {
+		runners[i] = build(i)
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+		for _, w := range wals {
+			_ = w.Close()
+		}
+		for _, s := range stores {
+			s.Close()
+		}
+		hub.Close()
+	}()
+	for _, r := range runners {
+		r.Start()
+	}
+
+	at := func(i int) types.Round {
+		mu.Lock()
+		defer mu.Unlock()
+		return frontier[i]
+	}
+	wait := func(deadline time.Time, cond func() bool) bool {
+		for time.Now().Before(deadline) {
+			if cond() {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+
+	// Phase 1: run past at least one checkpoint boundary, then kill -9.
+	warm := types.Round(2 * e11Interval)
+	if !wait(time.Now().Add(2*time.Minute), func() bool { return at(victim) >= warm }) {
+		return e11Result{dnf: true}
+	}
+	runners[victim].Stop()
+	if wals[victim] != nil {
+		wals[victim].Crash()
+	}
+	if stores[victim] != nil {
+		stores[victim].Close()
+	}
+	killedAt := at(victim)
+
+	// Phase 2: survivors advance the gap.
+	if !wait(time.Now().Add(3*time.Minute), func() bool { return at(0) >= killedAt+types.Round(gap) }) {
+		return e11Result{dnf: true}
+	}
+
+	// Phase 3: restart over the same directories. A dead process's
+	// inbox is gone with it.
+	inbox := hub.Endpoint(types.PartyID(victim)).Inbox()
+drain:
+	for {
+		select {
+		case <-inbox:
+		default:
+			break drain
+		}
+	}
+	mu.Lock()
+	frontier[victim] = 0
+	joinRound := frontier[0]
+	mu.Unlock()
+	recoverStart := time.Now()
+	runners[victim] = build(victim)
+	res := e11Result{
+		resume:  engines[victim].FinalizedRound(),
+		recover: time.Since(recoverStart),
+	}
+	if res.resume == 0 {
+		res.resume = 1 // cold start: round 1, nothing finalized
+	}
+	restartAt := time.Now()
+	runners[victim].Start()
+
+	// Phase 4: converge past the restart-time frontier, flag lost, or
+	// give up.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if at(victim) >= joinRound {
+			res.converge = time.Since(restartAt)
+			return res
+		}
+		if engines[victim].ResyncLost() != nil {
+			res.lost = true
+			return res
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.dnf = true
+	return res
+}

@@ -9,7 +9,18 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"icc/internal/core"
 )
+
+// simPruneDepth is the retention horizon simulation experiments run
+// with: a quarter of core.DefaultPruneDepth — deep enough that artifact
+// resync always succeeds within a run, small enough that pruning (and
+// the memory bound it enforces) actually triggers within a few hundred
+// simulated rounds. Sweeps that need a different horizon scale this
+// value (2× for the deep-retention runs, ½ for the smallest
+// dissemination grids) instead of inventing fresh literals.
+const simPruneDepth = core.DefaultPruneDepth / 4
 
 // Table is a rendered experiment result.
 type Table struct {

@@ -24,7 +24,7 @@ func runVariant(mode harness.Mode, n int, delta, bound, epsilon time.Duration, s
 		Mode:       mode,
 		SimBeacon:  true,
 		Verify:     pool.VerifySharesOnly,
-		PruneDepth: 32,
+		PruneDepth: simPruneDepth,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

@@ -85,7 +85,7 @@ func runTable1Cell(n int, epsilon time.Duration, window time.Duration, load, fai
 		Mode:       harness.ICC1, // production uses the gossip sub-layer
 		SimBeacon:  true,
 		Verify:     pool.VerifySharesOnly,
-		PruneDepth: 32,
+		PruneDepth: simPruneDepth,
 	}
 	if load {
 		// 100 req/s × 1 KB spread over the expected block rate: a block

@@ -105,6 +105,10 @@ type Observer struct {
 	msgsReceived   *Counter
 	ticks          *Counter
 	rejects        *CounterVec
+	ckptCreated    *Counter
+	ckptInstalled  *Counter
+	ckptServed     *Counter
+	resyncLost     *Counter
 	currentRound   *Gauge
 	finalizedRound *Gauge
 
@@ -158,6 +162,10 @@ func NewObserver(cfg ObserverConfig) *Observer {
 		msgsReceived:   reg.Counter("icc_runtime_messages_received_total", "Messages delivered to the engine event loop."),
 		ticks:          reg.Counter("icc_runtime_ticks_total", "Timer ticks delivered to the engine event loop."),
 		rejects:        reg.CounterVec("icc_verify_rejects_total", "Inbound artifacts rejected at admission, by reason.", "reason"),
+		ckptCreated:    reg.Counter("icc_checkpoint_created_total", "Certified checkpoints this node assembled (own share plus t matching peer shares)."),
+		ckptInstalled:  reg.Counter("icc_checkpoint_installed_total", "Certified checkpoints installed from peers (behind-horizon restores)."),
+		ckptServed:     reg.Counter("icc_checkpoint_served_total", "Checkpoint transfers offered to peers stuck behind the prune horizon."),
+		resyncLost:     reg.Counter("icc_resync_lost_total", "Times this node detected an unrecoverable lag (gap beyond the prune horizon with no checkpoint path)."),
 		currentRound:   reg.Gauge("icc_current_round", "Round the engine is currently working on."),
 		finalizedRound: reg.Gauge("icc_finalized_round", "Highest round this node has committed."),
 
@@ -297,6 +305,44 @@ func (o *Observer) Backfill(peer int, inline, deferred int, now time.Duration) {
 	o.backfillInline.Add(int64(inline))
 	o.backfillDefer.Add(int64(deferred))
 	o.trace(KindBackfill, 0, "peer "+strconv.Itoa(peer)+": "+strconv.Itoa(inline)+" inline, "+strconv.Itoa(deferred)+" deferred")
+}
+
+// Checkpoint records one certified checkpoint assembled locally.
+func (o *Observer) Checkpoint(k uint64, now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ckptCreated.Inc()
+	o.trace(KindCheckpoint, k, "assembled")
+}
+
+// CheckpointInstalled records one certified checkpoint installed from a
+// peer, jumping this node's frontier to round k.
+func (o *Observer) CheckpointInstalled(k uint64, now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ckptInstalled.Inc()
+	o.trace(KindCheckpoint, k, "installed")
+}
+
+// CheckpointServed records one checkpoint transfer offered to a peer
+// stuck behind the prune horizon.
+func (o *Observer) CheckpointServed(peer int, k uint64, now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ckptServed.Inc()
+	o.trace(KindCheckpoint, k, "served to peer "+strconv.Itoa(peer))
+}
+
+// ResyncLost records the detection of an unrecoverable lag.
+func (o *Observer) ResyncLost(gap uint64, now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.resyncLost.Inc()
+	o.trace(KindResyncLost, 0, strconv.FormatUint(gap, 10)+" rounds behind the frontier")
 }
 
 // RejectedMessage records one inbound artifact failing admission,

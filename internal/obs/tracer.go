@@ -19,6 +19,8 @@ const (
 	KindResync         = "resync"
 	KindBackfill       = "backfill"
 	KindTransportFault = "transport_fault"
+	KindCheckpoint     = "checkpoint"
+	KindResyncLost     = "resync_lost"
 )
 
 // Event is one traced protocol occurrence.

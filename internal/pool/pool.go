@@ -409,6 +409,31 @@ func (p *Pool) Chain(h hash.Digest, aboveRound types.Round) []*types.Block {
 	return out
 }
 
+// InstallCheckpoint seeds the pool with a verified checkpoint's boundary
+// block and certificates, marking the block valid by fiat. The caller
+// (the engine's checkpoint-install path) has already run
+// checkpoint.Verify, which subsumes the admission checks performed here
+// for ordinary traffic: the notarization aggregate vouches for the
+// block, so it becomes the new chain root and resync traffic above the
+// checkpoint validates against it through the ordinary IsValid recursion
+// — even though its own ancestors are absent.
+func (p *Pool) InstallCheckpoint(b *types.Block, nz *types.Notarization, fz *types.Finalization) {
+	if b == nil || nz == nil {
+		return
+	}
+	h := b.Hash()
+	if _, ok := p.blocks[h]; !ok {
+		p.blocks[h] = b
+		p.byRound[b.Round] = append(p.byRound[b.Round], h)
+	}
+	p.notarization[h] = nz
+	if fz != nil {
+		p.finalization[h] = fz
+		p.finalizableDirty[b.Round] = struct{}{}
+	}
+	p.validCache[h] = true
+}
+
 // Prune discards artifacts for rounds strictly below `before`, except
 // the root. The paper keeps pools unbounded (§3.1) but notes a practical
 // implementation would garbage-collect; long-running simulations need

@@ -131,6 +131,23 @@ func (kv *KV) Snapshot() []byte {
 	return e.Bytes()
 }
 
+// Restore replaces this replica's state in place with a snapshot — the
+// checkpoint-install path, where the engine holds a live *KV whose
+// identity (captured in closures and serving reads) must not change.
+// On a decode error the existing state is left untouched.
+func (kv *KV) Restore(snapshot []byte) error {
+	next, err := RestoreKV(snapshot)
+	if err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	kv.data = next.data
+	kv.applied = next.applied
+	kv.ops = next.ops
+	kv.mu.Unlock()
+	return nil
+}
+
 // RestoreKV reconstructs a replica from a snapshot.
 func RestoreKV(snapshot []byte) (*KV, error) {
 	d := types.NewDecoder(snapshot)

@@ -11,6 +11,11 @@ const (
 	DomainAuthenticator hash.Domain = "icc/sig/authenticator"
 	DomainNotarization  hash.Domain = "icc/sig/notarization"
 	DomainFinalization  hash.Domain = "icc/sig/finalization"
+	// DomainCheckpoint separates checkpoint commitments from the three
+	// protocol roles. Checkpoint shares are signed with the S_final key
+	// but over this distinct domain, so a checkpoint signature can never
+	// be replayed as a finalization share or vice versa.
+	DomainCheckpoint hash.Domain = "icc/sig/checkpoint"
 )
 
 // Block is a round-k block of the block-tree: the tuple
@@ -66,5 +71,18 @@ func SigningBytes(round Round, proposer PartyID, blockHash hash.Digest) []byte {
 	e.U64(uint64(round))
 	e.U64(uint64(int64(proposer)))
 	e.Bytes32(blockHash)
+	return e.Bytes()
+}
+
+// CheckpointSigningBytes returns the canonical byte string a checkpoint
+// share signs under DomainCheckpoint: the encoding of
+// (k, H(B_k), H(state after B_k), R_k). Binding the beacon digest lets
+// a restored party verify and sign round k+1 beacon shares immediately.
+func CheckpointSigningBytes(round Round, blockHash, stateHash, beaconDigest hash.Digest) []byte {
+	e := NewEncoder(8 + 3*hash.Size)
+	e.U64(uint64(round))
+	e.Bytes32(blockHash)
+	e.Bytes32(stateHash)
+	e.Bytes32(beaconDigest)
 	return e.Bytes()
 }

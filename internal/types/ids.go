@@ -42,6 +42,13 @@ func NotaryQuorum(n int) int { return n - MaxFaults(n) }
 // reconstruct a beacon value (paper §3.2: (t, t+1, n) scheme).
 func BeaconQuorum(n int) int { return MaxFaults(n) + 1 }
 
+// CheckpointQuorum returns t+1, the number of checkpoint signature
+// shares that make a checkpoint certificate self-authenticating: any
+// t+1 set contains at least one honest signer, and an honest party only
+// signs a checkpoint commitment for state it derived from the finalized
+// chain.
+func CheckpointQuorum(n int) int { return MaxFaults(n) + 1 }
+
 // DelayFunc maps a proposer rank to a delay, the shape of the Δprop and
 // Δntry delay functions of the Tree-Building Subprotocol (paper §3.5).
 // Implementations must be non-decreasing in the rank.

@@ -12,7 +12,8 @@ type Kind uint8
 
 // Message kinds. Kinds 1–7 are the artifacts of ICC0 (paper §3.4);
 // 8 is a transport-level bundle; 9–10 belong to the gossip sub-layer
-// (ICC1); 11 to the erasure-coded reliable broadcast (ICC2).
+// (ICC1); 11 to the erasure-coded reliable broadcast (ICC2); 14–15 to
+// the durability layer (signed finalized-state checkpoints).
 const (
 	KindBlock Kind = iota + 1
 	KindAuthenticator
@@ -27,6 +28,8 @@ const (
 	KindFragment
 	KindOpaque
 	KindStatus
+	KindCheckpointShare
+	KindCheckpoint
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +61,10 @@ func (k Kind) String() string {
 		return "opaque"
 	case KindStatus:
 		return "status"
+	case KindCheckpointShare:
+		return "checkpoint-share"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -185,6 +192,30 @@ type Status struct {
 	Seq       uint64
 }
 
+// CheckpointShare is one party's S_final signature share over a
+// checkpoint commitment (checkpoint, k, H(B), H(state), R_k) under
+// DomainCheckpoint. Any t+1 matching shares combine into a
+// self-authenticating certificate: at least one is from an honest
+// party, which only signs the state it computed by executing the
+// finalized chain.
+type CheckpointShare struct {
+	Round        Round
+	BlockHash    hash.Digest
+	StateHash    hash.Digest
+	BeaconDigest hash.Digest
+	Signer       PartyID
+	Sig          []byte
+}
+
+// CheckpointMsg carries a complete certified checkpoint (the
+// internal/checkpoint package's encoding) to a peer that fell behind
+// the prune horizon. The blob is opaque at this layer to keep the wire
+// vocabulary free of the checkpoint package's dependencies; receivers
+// decode and verify it before acting on any field.
+type CheckpointMsg struct {
+	Blob []byte
+}
+
 // Fragment is one erasure-coded chunk of a disseminated block (ICC2's
 // reliable-broadcast subprotocol). Root is the Merkle root over all n
 // fragments; Proof is the inclusion path for Index. Echo distinguishes
@@ -216,6 +247,8 @@ func (*Request) Kind() Kind           { return KindRequest }
 func (*Fragment) Kind() Kind          { return KindFragment }
 func (*Opaque) Kind() Kind            { return KindOpaque }
 func (*Status) Kind() Kind            { return KindStatus }
+func (*CheckpointShare) Kind() Kind   { return KindCheckpointShare }
+func (*CheckpointMsg) Kind() Kind     { return KindCheckpoint }
 
 // Compile-time interface checks.
 var (
@@ -232,6 +265,8 @@ var (
 	_ Message = (*Fragment)(nil)
 	_ Message = (*Opaque)(nil)
 	_ Message = (*Status)(nil)
+	_ Message = (*CheckpointShare)(nil)
+	_ Message = (*CheckpointMsg)(nil)
 )
 
 func (m *BlockMsg) encodeBody(e *Encoder) { m.Block.encode(e) }
@@ -346,6 +381,19 @@ func (m *Status) encodeBody(e *Encoder) {
 	e.U64(uint64(m.Round))
 	e.U64(uint64(m.Finalized))
 	e.U64(m.Seq)
+}
+
+func (m *CheckpointShare) encodeBody(e *Encoder) {
+	e.U64(uint64(m.Round))
+	e.Bytes32(m.BlockHash)
+	e.Bytes32(m.StateHash)
+	e.Bytes32(m.BeaconDigest)
+	e.U64(uint64(int64(m.Signer)))
+	e.VarBytes(m.Sig)
+}
+
+func (m *CheckpointMsg) encodeBody(e *Encoder) {
+	e.VarBytes(m.Blob)
 }
 
 // ErrUnknownKind is returned when decoding an unrecognised message kind.
@@ -464,6 +512,19 @@ func decodeBody(k Kind, d *Decoder) (Message, error) {
 		s.Finalized = Round(d.U64())
 		s.Seq = d.U64()
 		m = s
+	case KindCheckpointShare:
+		c := &CheckpointShare{}
+		c.Round = Round(d.U64())
+		c.BlockHash = d.Bytes32()
+		c.StateHash = d.Bytes32()
+		c.BeaconDigest = d.Bytes32()
+		c.Signer = PartyID(int64(d.U64()))
+		c.Sig = d.VarBytes()
+		m = c
+	case KindCheckpoint:
+		c := &CheckpointMsg{}
+		c.Blob = d.VarBytes()
+		m = c
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
