@@ -16,7 +16,7 @@ vet:
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/... ./internal/gateway/... ./internal/statemachine/...
 
 # Regenerate the evaluation tables and record a machine-readable
 # BENCH_<timestamp>.json snapshot in the repo root.

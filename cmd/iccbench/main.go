@@ -39,6 +39,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"verifypipeline": experiments.VerifyPipeline,
 	"catchup":        experiments.Catchup,
 	"durability":     experiments.Durability,
+	"gateway":        experiments.Gateway,
 }
 
 // benchSummary is the machine-readable run record written by -json, so
@@ -52,6 +53,10 @@ type benchSummary struct {
 type benchResult struct {
 	Table   *experiments.Table `json:"table"`
 	Seconds float64            `json:"seconds"`
+	// Metrics mirrors Table.Metrics at the top level of the record, so
+	// trend tooling reads headline scalars (e.g. gateway latency
+	// percentiles) without digging into rendered cells.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -91,7 +96,7 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Println(table.String())
 		fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
-		summary.Experiments[name] = benchResult{Table: table, Seconds: elapsed.Seconds()}
+		summary.Experiments[name] = benchResult{Table: table, Seconds: elapsed.Seconds(), Metrics: table.Metrics}
 	}
 	if *jsonOut {
 		path := filepath.Join(*jsonDir, time.Now().UTC().Format("BENCH_20060102T150405.json"))

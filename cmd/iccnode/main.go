@@ -14,7 +14,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ import (
 	"icc/internal/checkpoint"
 	"icc/internal/clock"
 	"icc/internal/core"
+	"icc/internal/gateway"
 	"icc/internal/crypto/keys"
 	"icc/internal/metrics"
 	"icc/internal/obs"
@@ -68,9 +71,13 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "persist consensus state under this directory (empty = in-memory only)")
 		ckptInterval = flag.Uint64("checkpoint-interval", 64, "certify a signed state checkpoint every N finalized rounds (0 = disabled; requires -wal-dir)")
 
+		// Client ingress: bounds for the gateway backlog. The HTTP API
+		// (/v1/submit /v1/read /v1/wait) shares the -metrics-addr server.
+		gatewayBacklog = flag.Int("gateway-backlog", 0, "admitted-but-unfinalized command bound; submits are rejected (HTTP 429) at the bound (0 = default 4096, negative = unbounded)")
+
 		// Observability: one HTTP server exposing Prometheus metrics, a
 		// commit-recency health probe, the protocol event trace, and pprof.
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof on this address (empty = disabled)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof and the /v1 client API on this address (empty = disabled)")
 		stallAfter  = flag.Duration("stall-after", 30*time.Second, "report unhealthy when no block committed for this long")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "protocol event ring capacity (/trace)")
 
@@ -92,6 +99,7 @@ func main() {
 		epsilon:       *epsilon,
 		load:          *load,
 		quiet:         *quiet,
+		gwBacklog:     *gatewayBacklog,
 		metricsAddr:   *metricsAddr,
 		stallAfter:    *stallAfter,
 		traceCap:      *traceCap,
@@ -126,6 +134,7 @@ type nodeConfig struct {
 	epsilon       time.Duration
 	load          int
 	quiet         bool
+	gwBacklog     int
 	metricsAddr   string
 	stallAfter    time.Duration
 	traceCap      int
@@ -200,6 +209,10 @@ func run(cfg nodeConfig) error {
 
 	queue := statemachine.NewQueue()
 	kv := statemachine.NewKV()
+	// The gateway is this node's client surface: typed-error admission
+	// over the queue, finality receipts, token-gated local reads. The
+	// /v1 HTTP API fronts it on the metrics listener.
+	gw := gateway.New(queue, kv, gateway.Options{Party: self, MaxBacklog: cfg.gwBacklog, Registry: reg})
 	committed := 0
 	// With the pipeline active (the default) the engine's pool admits
 	// pre-verified input; disabling it restores inline verification.
@@ -264,6 +277,7 @@ func run(cfg nodeConfig) error {
 			OnCommit: func(b *types.Block, now time.Duration) {
 				_ = kv.Apply(b.Payload)
 				queue.MarkCommitted(b.Payload)
+				gw.ObserveCommit(uint64(b.Round), b.Payload)
 				committed++
 				if !cfg.quiet {
 					fmt.Printf("committed round %d: %d payload bytes (proposer P%d, total %d blocks, state %s)\n",
@@ -301,6 +315,8 @@ func run(cfg nodeConfig) error {
 			Registry:     reg,
 		}))
 	}
+	gw.Start()
+	defer gw.Stop()
 	runner.Start()
 	defer runner.Stop()
 	fmt.Printf("party %d of %d listening on %s (t=%d tolerated faults)\n", self, pub.N, tcp.Addr(), pub.T)
@@ -310,20 +326,26 @@ func run(cfg nodeConfig) error {
 			Registry: reg,
 			Tracer:   tracer,
 			Health:   ob.HealthFunc(cfg.stallAfter),
+			Ingress:  gateway.NewHandler([]*gateway.Gateway{gw}, 0),
 		})
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability on http://%s (/metrics /healthz /trace /debug/pprof)\n", srv.Addr())
+		fmt.Printf("observability on http://%s (/metrics /healthz /trace /debug/pprof), client API under /v1\n", srv.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	if cfg.load > 0 {
+		// Synthetic load goes through the gateway like any client:
+		// admission-controlled, acknowledged only at finality (the ack
+		// latency lands in icc_gateway_commit_latency_seconds). Ticks
+		// rejected under backpressure are dropped, keeping the loop open.
 		ticker := time.NewTicker(time.Second / time.Duration(cfg.load))
 		defer ticker.Stop()
+		ctx := context.Background()
 		seq := uint64(0)
 		for {
 			select {
@@ -331,13 +353,16 @@ func run(cfg nodeConfig) error {
 				return nil
 			case <-ticker.C:
 				seq++
-				queue.Submit(statemachine.Command{
+				_, err := gw.Submit(ctx, statemachine.Command{
 					Client: uint64(self),
 					Seq:    seq,
 					Op:     statemachine.OpSet,
 					Key:    fmt.Sprintf("node%d/key%d", self, seq%100),
 					Value:  []byte(time.Now().Format(time.RFC3339Nano)),
 				})
+				if err != nil && !cfg.quiet && !errors.Is(err, gateway.ErrBacklogFull) {
+					fmt.Printf("load submit: %v\n", err)
+				}
 			}
 		}
 	}

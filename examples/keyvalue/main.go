@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,6 +35,9 @@ func main() {
 	cluster.Start()
 	defer cluster.Stop()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for clientID := 1; clientID <= clients; clientID++ {
@@ -42,6 +46,8 @@ func main() {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(clientID)))
+			// Each client talks to its own replica through its gateway.
+			gw := cluster.Client(clientID % parties)
 			for seq := uint64(1); seq <= requests; seq++ {
 				cmd := icc.Command{
 					Client: uint64(clientID),
@@ -58,8 +64,9 @@ func main() {
 				default:
 					cmd.Op = icc.OpDelete
 				}
-				// Each client talks to its own replica.
-				cluster.Submit(clientID%parties, cmd)
+				if _, err := gw.Submit(ctx, cmd); err != nil {
+					log.Fatalf("client %d submit seq %d: %v", clientID, seq, err)
+				}
 				time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
 			}
 		}()

@@ -1,14 +1,16 @@
 // Quickstart: run a 4-party Internet Computer Consensus cluster inside
-// one process, submit a few key-value commands, and watch every replica
-// commit the same chain and converge to the same state.
+// one process, submit key-value commands through the typed client API,
+// and watch acknowledgements arrive only at finality — then use each
+// receipt's commit-index token to read your own write back from a
+// *different* replica.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sync/atomic"
 	"time"
 
 	"icc"
@@ -20,15 +22,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("building cluster: %v", err)
 	}
-	var blocks atomic.Int64
-	cluster.OnCommit(func(ev icc.CommitEvent) {
-		if ev.Party == 0 && len(ev.Payload) > 0 {
-			fmt.Printf("party 0 committed round %d with %d payload bytes\n", ev.Round, len(ev.Payload))
-		}
-		blocks.Add(1)
-	})
 	cluster.Start()
 	defer cluster.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
 
 	// Submit commands to different parties — atomic broadcast orders
 	// them identically everywhere. Each command uses its own client ID:
@@ -36,35 +34,39 @@ func main() {
 	// single client must funnel its commands through one replica to keep
 	// them ordered; independent clients are free to use any replica.
 	fmt.Println("submitting 5 commands...")
+	receipts := make([]*icc.Receipt, 0, 5)
 	for i := uint64(1); i <= 5; i++ {
 		party := int(i) % 4
-		cluster.Submit(party, icc.Command{
+		r, err := cluster.Client(party).Submit(ctx, icc.Command{
 			Client: 42 + i,
 			Seq:    1,
 			Op:     icc.OpSet,
 			Key:    fmt.Sprintf("greeting-%d", i),
 			Value:  []byte(fmt.Sprintf("hello from command %d", i)),
 		})
+		if err != nil {
+			log.Fatalf("submit %d: %v", i, err) // typed: ErrBacklogFull, ErrNotRunning, ...
+		}
+		receipts = append(receipts, r)
 	}
 
-	// Wait until every command is visible on every replica. Commands
-	// submitted to a party are proposed when that party's blocks win a
-	// round, so all four parties must lead at least once.
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		done := true
-		for p := 0; p < 4 && done; p++ {
-			for i := 1; i <= 5; i++ {
-				if _, ok := cluster.KV(p).Get(fmt.Sprintf("greeting-%d", i)); !ok {
-					done = false
-					break
-				}
-			}
+	// Each receipt resolves when its command is in a *finalized* block —
+	// there is no earlier acknowledgement to wait for.
+	for i, r := range receipts {
+		ack, err := r.Wait(ctx)
+		if err != nil {
+			log.Fatalf("waiting for command %d: %v", i+1, err)
 		}
-		if done {
-			break
+		fmt.Printf("command %d finalized at commit index %d (%.0fms submit→finalize)\n",
+			i+1, ack.CommitIndex, ack.Latency.Seconds()*1000)
+
+		// Read-your-writes: the token makes the write visible on every
+		// replica, not just the one that took the submission.
+		res, err := cluster.Client((i+2)%4).Read(ctx, fmt.Sprintf("greeting-%d", i+1), ack.CommitIndex)
+		if err != nil || !res.Found {
+			log.Fatalf("read-your-writes failed for command %d: %v", i+1, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		fmt.Printf("  read back from another replica: %q\n", res.Value)
 	}
 
 	fmt.Println("\nreplica states:")
@@ -73,6 +75,5 @@ func main() {
 		fmt.Printf("  party %d: %d keys, greeting-3=%q, state hash %s\n",
 			p, cluster.KV(p).Len(), v, cluster.KV(p).StateHash().Short())
 	}
-	fmt.Printf("\ntotal block commits observed: %d\n", blocks.Load())
 	fmt.Println("all replicas share one state hash: that is atomic broadcast at work")
 }

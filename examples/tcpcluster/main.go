@@ -88,13 +88,16 @@ func main() {
 
 	fmt.Println("\nsubmitting one command per node...")
 	for i := 0; i < n; i++ {
-		queues[i].Submit(statemachine.Command{
+		err := queues[i].TrySubmit(statemachine.Command{
 			Client: uint64(i + 1),
 			Seq:    1,
 			Op:     statemachine.OpSet,
 			Key:    fmt.Sprintf("from-node-%d", i),
 			Value:  []byte("over real TCP"),
 		})
+		if err != nil {
+			log.Fatalf("node %d admission: %v", i, err)
+		}
 	}
 
 	deadline := time.Now().Add(30 * time.Second)

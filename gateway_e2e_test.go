@@ -1,0 +1,170 @@
+package icc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGatewayReadYourWrites is the PR's acceptance check: a write
+// acknowledged through one party's client carries a commit-index token
+// that makes the write visible on EVERY party, and the acknowledgement
+// itself never precedes finality.
+func TestGatewayReadYourWrites(t *testing.T) {
+	const n = 4
+	c, err := NewLocalCluster(n, WithDeltaBound(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for i := 0; i < 6; i++ {
+		writer := i % n
+		key := fmt.Sprintf("ryw/%d", i)
+		want := fmt.Sprintf("value-%d", i)
+		r, err := c.Client(writer).Submit(ctx, Command{
+			Client: uint64(100 + i), Seq: 1, Op: OpSet, Key: key, Value: []byte(want),
+		})
+		if err != nil {
+			t.Fatalf("submit via party %d: %v", writer, err)
+		}
+		// Acks only at finality: when Wait returns, the write must already
+		// be in the acknowledging replica's finalized state.
+		ack, err := r.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait via party %d: %v", writer, err)
+		}
+		if ack.CommitIndex == 0 {
+			t.Fatal("resolved receipt carries no commit index")
+		}
+		if v, ok := c.KV(writer).Get(key); !ok || string(v) != want {
+			t.Fatalf("party %d acked (%s) before applying it: %q %v", writer, key, v, ok)
+		}
+		// Read-your-writes on every party, including ones that may not
+		// have applied the round yet when the read arrives.
+		for q := 0; q < n; q++ {
+			res, err := c.Client(q).Read(ctx, key, ack.CommitIndex)
+			if err != nil {
+				t.Fatalf("read %s on party %d with token %d: %v", key, q, ack.CommitIndex, err)
+			}
+			if !res.Found || string(res.Value) != want {
+				t.Fatalf("party %d with token %d does not observe the write: found=%v value=%q",
+					q, ack.CommitIndex, res.Found, res.Value)
+			}
+			if res.Index < ack.CommitIndex {
+				t.Fatalf("read released at index %d < token %d", res.Index, ack.CommitIndex)
+			}
+		}
+	}
+}
+
+func TestGatewayTypedErrors(t *testing.T) {
+	c, err := NewLocalCluster(4,
+		WithDeltaBound(50*time.Millisecond),
+		WithGatewayBacklog(1),
+		WithBehavior(3, CrashFromBirth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A crashed-from-birth party's gateway never serves.
+	if _, err := c.Client(3).Submit(ctx, Command{Client: 1, Seq: 1, Op: OpSet, Key: "x"}); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("crashed party's client = %v, want ErrNotRunning", err)
+	}
+
+	// With a one-command backlog, a second command in the same instant
+	// must surface backpressure or duplicate typing, never silence. The
+	// first command may finalize between the two calls, so accept a
+	// success only for the one submitted first.
+	if _, err := c.Client(0).Submit(ctx, Command{Client: 2, Seq: 1, Op: OpSet, Key: "a"}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err = c.Client(0).Submit(ctx, Command{Client: 2, Seq: 1, Op: OpSet, Key: "a"})
+	if err == nil || (!errors.Is(err, ErrDuplicate) && !errors.Is(err, ErrBacklogFull)) {
+		t.Fatalf("duplicate resubmit = %v, want ErrDuplicate (or ErrBacklogFull at the bound)", err)
+	}
+	if _, err := c.Client(0).Submit(ctx, Command{
+		Client: 3, Seq: 1, Op: OpSet, Key: "big", Value: make([]byte, 8<<20),
+	}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized submit = %v, want ErrTooLarge", err)
+	}
+
+	// After Stop every client refuses with ErrNotRunning.
+	c.Stop()
+	if _, err := c.Client(0).Submit(ctx, Command{Client: 4, Seq: 1, Op: OpSet, Key: "y"}); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("submit after Stop = %v, want ErrNotRunning", err)
+	}
+}
+
+// TestGatewayHTTPIngress drives the full stack over real HTTP: the /v1
+// API mounts on the same listener as /metrics, a curl-equivalent write
+// returns 200 with a token only at finality, and the token gates a read
+// on a different party.
+func TestGatewayHTTPIngress(t *testing.T) {
+	c, err := NewLocalCluster(4,
+		WithDeltaBound(50*time.Millisecond),
+		WithMetricsAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	addr := c.MetricsAddr()
+	if addr == "" {
+		t.Fatal("no HTTP address")
+	}
+	client := &http.Client{Timeout: 90 * time.Second}
+
+	res, err := client.Post("http://"+addr+"/v1/submit?party=1", "application/json",
+		strings.NewReader(`{"client":7,"seq":1,"op":"set","key":"http-key","value":"http-value"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Committed   bool    `json:"committed"`
+		CommitIndex float64 `json:"commit_index"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&sub)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d err %v", res.StatusCode, err)
+	}
+	if !sub.Committed || sub.CommitIndex < 1 {
+		t.Fatalf("submit response %+v, want committed with token", sub)
+	}
+
+	res, err = client.Get(fmt.Sprintf("http://%s/v1/read?party=3&key=http-key&token=%.0f", addr, sub.CommitIndex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd struct {
+		Found bool   `json:"found"`
+		Value string `json:"value"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&rd)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("read status %d err %v", res.StatusCode, err)
+	}
+	if !rd.Found || rd.Value != "http-value" {
+		t.Fatalf("read response %+v, want the write visible", rd)
+	}
+
+	// The gateway instruments feed the same registry /metrics serves.
+	snap := c.Metrics()
+	if snap.Get("icc_gateway_acked_total") < 1 || snap.Get("icc_gateway_commit_latency_seconds_count") < 1 {
+		t.Fatalf("gateway metrics missing from registry: %s", snap)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
 	"icc/internal/engine"
+	"icc/internal/gateway"
 	"icc/internal/gossip"
 	"icc/internal/harness"
 	"icc/internal/metrics"
@@ -84,6 +85,37 @@ const (
 
 // KV is the replicated key-value state machine each party maintains.
 type KV = statemachine.KV
+
+// Client is the typed ingress API of one replica: Submit returns a
+// finality Receipt (never an ack at admission), Read serves
+// read-your-writes reads gated by the Receipt's commit-index token.
+type Client = gateway.Gateway
+
+// Receipt is a submitted command's completion future; it resolves at
+// finalization with the commit-index token.
+type Receipt = gateway.Receipt
+
+// Ack is a resolved Receipt: the commit-index token plus the observed
+// submit-to-finalize latency.
+type Ack = gateway.Ack
+
+// ReadResult is a read served from finalized local state.
+type ReadResult = gateway.ReadResult
+
+// Typed ingress errors (compare with errors.Is).
+var (
+	// ErrBacklogFull: the replica's admission backlog is at capacity —
+	// back off and retry; nothing was enqueued.
+	ErrBacklogFull = gateway.ErrBacklogFull
+	// ErrNotRunning: the cluster is not serving (before Start / after
+	// Stop / crashed party).
+	ErrNotRunning = gateway.ErrNotRunning
+	// ErrDuplicate: an identical (client, seq) command is pending or
+	// already finalized.
+	ErrDuplicate = gateway.ErrDuplicate
+	// ErrTooLarge: the command cannot fit in any block payload.
+	ErrTooLarge = gateway.ErrTooLarge
+)
 
 // CommitEvent reports one block committed by one party.
 type CommitEvent struct {
@@ -160,6 +192,10 @@ type Options struct {
 	// unless CheckpointInterval is set, in which case it defaults to
 	// core.DefaultPruneDepth; negative values are invalid.
 	PruneDepth uint64
+	// GatewayBacklog bounds each replica's admitted-but-unfinalized
+	// command backlog; Client.Submit returns ErrBacklogFull at the
+	// bound (0 = gateway.DefaultMaxBacklog; negative = unbounded).
+	GatewayBacklog int
 }
 
 // Option mutates Options.
@@ -236,6 +272,10 @@ func WithCheckpointInterval(n uint64) Option {
 // checkpointing is enabled).
 func WithPruneDepth(n uint64) Option { return func(o *Options) { o.PruneDepth = n } }
 
+// WithGatewayBacklog bounds each replica's admission backlog
+// (0 = default 4096; negative = unbounded).
+func WithGatewayBacklog(n int) Option { return func(o *Options) { o.GatewayBacklog = n } }
+
 // validate rejects nonsensical option values up front, so misconfigured
 // clusters fail loudly at construction instead of hanging at runtime.
 func (o Options) validate(n int) error {
@@ -287,6 +327,7 @@ type LocalCluster struct {
 
 	queues []*statemachine.Queue
 	kvs    []*statemachine.KV
+	gws    []*gateway.Gateway
 	wals   []*wal.Log
 	stores []*checkpoint.Store
 
@@ -336,6 +377,7 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		hub:          transport.NewInproc(n),
 		queues:       make([]*statemachine.Queue, n),
 		kvs:          make([]*statemachine.KV, n),
+		gws:          make([]*gateway.Gateway, n),
 		wals:         make([]*wal.Log, n),
 		stores:       make([]*checkpoint.Store, n),
 		committed:    make([]int, n),
@@ -354,9 +396,19 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			c.queues[i].MaxBatch = o.MaxBatch
 		}
 		c.kvs[i] = statemachine.NewKV()
+		// Each replica gets its own ingress gateway: admission control
+		// over its queue, finality receipts resolved by its commits,
+		// token-gated reads from its KV.
+		c.gws[i] = gateway.New(c.queues[i], c.kvs[i], gateway.Options{
+			Party:      i,
+			MaxBacklog: o.GatewayBacklog,
+			Registry:   reg,
+		})
 		behavior := o.Behaviors[i]
 		if behavior == CrashFromBirth {
-			// A crashed party simply runs no engine.
+			// A crashed party simply runs no engine — and its gateway is
+			// never started, so clients get ErrNotRunning instead of
+			// commands silently rotting in a dead queue.
 			c.rnrs = append(c.rnrs, nil)
 			continue
 		}
@@ -497,10 +549,13 @@ func defaultFanout(n int) int {
 }
 
 // commit applies a committed block to party i's state machine, wakes
-// commit waiters, and fires the user callback.
+// commit waiters, and fires the user callback. The gateway observes the
+// commit after the KV apply, so a reader released by the advancing
+// commit index always sees the write.
 func (c *LocalCluster) commit(i int, b *types.Block) {
 	_ = c.kvs[i].Apply(b.Payload)
 	c.queues[i].MarkCommitted(b.Payload)
+	c.gws[i].ObserveCommit(uint64(b.Round), b.Payload)
 	c.mu.Lock()
 	c.committed[i]++
 	h := c.onCommit
@@ -539,6 +594,7 @@ func (c *LocalCluster) Start() {
 			Registry: c.reg,
 			Tracer:   c.tracer,
 			Health:   func() obs.Health { return c.health.Health(c.opts.StallAfter) },
+			Ingress:  gateway.NewHandler(c.gws, 0),
 		})
 		if err == nil {
 			c.mu.Lock()
@@ -546,8 +602,9 @@ func (c *LocalCluster) Start() {
 			c.mu.Unlock()
 		}
 	}
-	for _, r := range c.rnrs {
+	for i, r := range c.rnrs {
 		if r != nil {
+			c.gws[i].Start()
 			r.Start()
 		}
 	}
@@ -565,6 +622,12 @@ func (c *LocalCluster) Stop() {
 	srv := c.srv
 	c.srv = nil
 	c.mu.Unlock()
+	// Gateways stop first: in-flight receipts resolve with
+	// ErrNotRunning instead of hanging on a cluster that will never
+	// commit again.
+	for _, g := range c.gws {
+		g.Stop()
+	}
 	for _, r := range c.rnrs {
 		if r != nil {
 			r.Stop()
@@ -602,11 +665,23 @@ func (c *LocalCluster) Metrics() MetricsSnapshot { return c.reg.Snapshot() }
 // entries, proposals, shares, commits, resyncs, transport faults.
 func (c *LocalCluster) Trace() []TraceEvent { return c.tracer.Events() }
 
+// Client returns party p's ingress API: typed-error Submit with a
+// finality Receipt, and read-your-writes Read gated by the Receipt's
+// commit-index token. The client serves between Start and Stop
+// (ErrNotRunning otherwise); a CrashFromBirth party's client never
+// serves.
+func (c *LocalCluster) Client(party int) *Client { return c.gws[party] }
+
 // Submit hands a command to one party's pending queue; the party will
-// include it in a future block proposal. Returns false on duplicate
-// (client, seq).
+// include it in a future block proposal. Returns false when the command
+// was not admitted (duplicate, backlog full, oversized).
+//
+// Deprecated: Submit acknowledges admission, not replication, and
+// collapses every failure into one bool. Use Client(party).Submit: it
+// returns typed errors and a Receipt that resolves at finalization
+// with the read-your-writes token.
 func (c *LocalCluster) Submit(party int, cmd Command) bool {
-	return c.queues[party].Submit(cmd)
+	return c.queues[party].TrySubmit(cmd) == nil
 }
 
 // KV returns party p's replicated key-value store.

@@ -1,6 +1,7 @@
 package icc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -20,9 +21,11 @@ func TestLocalClusterCommitsCommands(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
 	for i := uint64(1); i <= 10; i++ {
-		if !c.Submit(0, Command{Client: 1, Seq: i, Op: OpSet, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}) {
-			t.Fatalf("submit %d rejected", i)
+		if _, err := c.Client(0).Submit(ctx, Command{Client: 1, Seq: i, Op: OpSet, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			t.Fatalf("submit %d rejected: %v", i, err)
 		}
 	}
 	// Wait until every replica holds k10 AND all state hashes agree,
@@ -66,7 +69,11 @@ func TestLocalClusterModes(t *testing.T) {
 			}
 			c.Start()
 			defer c.Stop()
-			c.Submit(0, Command{Client: 1, Seq: 1, Op: OpSet, Key: "x", Value: []byte("y")})
+			// Deliberately uses the deprecated bool-returning wrapper so the
+			// compatibility path keeps working until it is removed.
+			if !c.Submit(0, Command{Client: 1, Seq: 1, Op: OpSet, Key: "x", Value: []byte("y")}) {
+				t.Fatal("deprecated Submit wrapper rejected a fresh command")
+			}
 			if !c.WaitForCommits(3, 30*time.Second) {
 				t.Fatalf("mode %d made no progress", mode)
 			}

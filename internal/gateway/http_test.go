@@ -1,0 +1,193 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// httpHarness serves the /v1 API over two hand-driven gateways, with a
+// background committer finalizing pending commands every few
+// milliseconds so wait=true requests resolve.
+type httpHarness struct {
+	parties []*harness
+	srv     *httptest.Server
+	stopC   chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newHTTPHarness(t *testing.T, autoCommit bool) *httpHarness {
+	t.Helper()
+	hh := &httpHarness{stopC: make(chan struct{})}
+	gws := make([]*Gateway, 2)
+	for i := range gws {
+		p := newHarness(t, Options{Party: i, MaxBacklog: 4})
+		hh.parties = append(hh.parties, p)
+		gws[i] = p.gw
+	}
+	hh.srv = httptest.NewServer(NewHandler(gws, 5*time.Second))
+	t.Cleanup(hh.srv.Close)
+	if autoCommit {
+		hh.wg.Add(1)
+		go func() {
+			defer hh.wg.Done()
+			round := uint64(0)
+			for {
+				select {
+				case <-hh.stopC:
+					return
+				case <-time.After(2 * time.Millisecond):
+					// Model atomic broadcast: the round's leader proposes its
+					// pending batch and EVERY party applies it.
+					round++
+					leader := hh.parties[int(round)%len(hh.parties)]
+					payload := leader.q.GetPayload(0, nil, nil)
+					for _, p := range hh.parties {
+						p.kv.Apply(payload)
+						p.q.MarkCommitted(payload)
+						p.gw.ObserveCommit(round, payload)
+					}
+				}
+			}
+		}()
+		t.Cleanup(func() { close(hh.stopC); hh.wg.Wait() })
+	}
+	return hh
+}
+
+func (hh *httpHarness) post(t *testing.T, path, body string) (int, map[string]any) {
+	t.Helper()
+	res, err := http.Post(hh.srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeBody(t, res)
+}
+
+func (hh *httpHarness) get(t *testing.T, path string) (int, map[string]any) {
+	t.Helper()
+	res, err := http.Get(hh.srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeBody(t, res)
+}
+
+func decodeBody(t *testing.T, res *http.Response) (int, map[string]any) {
+	t.Helper()
+	defer res.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	return res.StatusCode, m
+}
+
+func TestHTTPSubmitWaitRead(t *testing.T) {
+	hh := newHTTPHarness(t, true)
+
+	// wait=true (default): 200 only at finality, with the token.
+	code, body := hh.post(t, "/v1/submit", `{"client":1,"seq":1,"op":"set","key":"greeting","value":"hi"}`)
+	if code != http.StatusOK || body["committed"] != true {
+		t.Fatalf("submit = %d %v, want 200 committed", code, body)
+	}
+	token, ok := body["commit_index"].(float64)
+	if !ok || token < 1 {
+		t.Fatalf("commit_index missing from finality response: %v", body)
+	}
+
+	// Read-your-writes on the OTHER party with the returned token.
+	code, body = hh.get(t, "/v1/read?party=1&key=greeting&token="+jsonNum(token))
+	if code != http.StatusOK || body["found"] != true || body["value"] != "hi" {
+		t.Fatalf("cross-party read = %d %v, want found hi", code, body)
+	}
+
+	// wait=false: 202 accepted, no commit index; /v1/wait finishes the job.
+	code, body = hh.post(t, "/v1/submit", `{"client":1,"seq":2,"key":"second","value":"x","wait":false}`)
+	if code != http.StatusAccepted || body["committed"] == true {
+		t.Fatalf("wait=false submit = %d %v, want 202 uncommitted", code, body)
+	}
+	code, body = hh.get(t, "/v1/wait?client=1&seq=2")
+	if code != http.StatusOK || body["committed"] != true {
+		t.Fatalf("wait after 202 = %d %v, want 200 committed", code, body)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	hh := newHTTPHarness(t, false) // no committer: backlog only fills
+
+	// Malformed JSON and bad op.
+	if code, _ := hh.post(t, "/v1/submit", `{`); code != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", code)
+	}
+	if code, _ := hh.post(t, "/v1/submit", `{"client":1,"seq":1,"op":"increment","key":"k"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown op = %d, want 400", code)
+	}
+	// Party selector out of range.
+	if code, _ := hh.post(t, "/v1/submit?party=9", `{"client":1,"seq":1,"key":"k"}`); code != http.StatusBadRequest {
+		t.Fatalf("party out of range = %d, want 400", code)
+	}
+	// Unknown identity on /v1/wait.
+	if code, _ := hh.get(t, "/v1/wait?client=99&seq=99"); code != http.StatusNotFound {
+		t.Fatalf("unknown wait = %d, want 404", code)
+	}
+	// Duplicate: same identity twice while the first is still pending.
+	if code, _ := hh.post(t, "/v1/submit", `{"client":2,"seq":1,"key":"k","wait":false}`); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	if code, _ := hh.post(t, "/v1/submit", `{"client":2,"seq":1,"key":"k","wait":false}`); code != http.StatusConflict {
+		t.Fatalf("duplicate submit = %d, want 409", code)
+	}
+	// Backpressure: MaxBacklog=4; one slot is taken — fill the rest, then 429.
+	for seq := 2; seq <= 4; seq++ {
+		if code, _ := hh.post(t, "/v1/submit",
+			`{"client":2,"seq":`+jsonNum(float64(seq))+`,"key":"k","wait":false}`); code != http.StatusAccepted {
+			t.Fatalf("fill seq %d = %d, want 202", seq, code)
+		}
+	}
+	res, err := http.Post(hh.srv.URL+"/v1/submit", "application/json",
+		strings.NewReader(`{"client":2,"seq":5,"key":"k","wait":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := decodeBody(t, res)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-backlog submit = %d, want 429", code)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Method discipline.
+	if code, _ := hh.get(t, "/v1/submit"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/submit = %d, want 405", code)
+	}
+	// Read validation.
+	if code, _ := hh.get(t, "/v1/read"); code != http.StatusBadRequest {
+		t.Fatalf("read without key = %d, want 400", code)
+	}
+	if code, _ := hh.get(t, "/v1/read?key=k&token=zebra"); code != http.StatusBadRequest {
+		t.Fatalf("read with bad token = %d, want 400", code)
+	}
+}
+
+func TestHTTPReadTimesOutOnUnreachedToken(t *testing.T) {
+	hh := &httpHarness{}
+	p := newHarness(t, Options{})
+	hh.parties = append(hh.parties, p)
+	hh.srv = httptest.NewServer(NewHandler([]*Gateway{p.gw}, 50*time.Millisecond))
+	t.Cleanup(hh.srv.Close)
+
+	code, _ := hh.get(t, "/v1/read?key=k&token=10")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("read past index with 50ms budget = %d, want 504", code)
+	}
+}
+
+func jsonNum(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}

@@ -1,0 +1,114 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// autoCommitter finalizes a gateway set's pending commands on a short
+// period, standing in for consensus.
+func autoCommitter(t *testing.T, parties []*harness, period time.Duration) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		round := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(period):
+				round++
+				leader := parties[int(round)%len(parties)]
+				payload := leader.q.GetPayload(0, nil, nil)
+				for _, p := range parties {
+					p.kv.Apply(payload)
+					p.q.MarkCommitted(payload)
+					p.gw.ObserveCommit(round, payload)
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() { close(stop); wg.Wait() })
+}
+
+func TestRunLoadOpenLoopOffersExactCount(t *testing.T) {
+	parties := []*harness{newHarness(t, Options{Party: 0}), newHarness(t, Options{Party: 1})}
+	autoCommitter(t, parties, time.Millisecond)
+
+	rep, err := RunLoad(context.Background(), []*Gateway{parties[0].gw, parties[1].gw}, LoadOptions{
+		Rate:     400,
+		Duration: 250 * time.Millisecond,
+		Clients:  4,
+		Keys:     64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open loop: the offered count is rate×duration regardless of how the
+	// cluster performed — anything not admitted shows up as a rejection.
+	const want = 100 // 400/s × 0.25s
+	if rep.Submitted+rep.Rejected != want {
+		t.Fatalf("submitted %d + rejected %d != offered %d", rep.Submitted, rep.Rejected, want)
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("unbounded-backlog run rejected %d commands", rep.Rejected)
+	}
+	if rep.Acked != rep.Submitted || rep.Timedout != 0 {
+		t.Fatalf("acked %d / timedout %d of %d submitted — committer should ack all",
+			rep.Acked, rep.Timedout, rep.Submitted)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+}
+
+func TestRunLoadCountsBackpressureAsRejections(t *testing.T) {
+	// One slot and no committer: the first submission takes the slot,
+	// every later tick is an open-loop loss, never a queue or a block.
+	p := newHarness(t, Options{MaxBacklog: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var rep *LoadReport
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = RunLoad(ctx, []*Gateway{p.gw}, LoadOptions{
+			Rate:     200,
+			Duration: 100 * time.Millisecond,
+			Clients:  2,
+		})
+	}()
+	// The stuck command needs a finalization for RunLoad to drain; give it
+	// one after the window.
+	time.Sleep(150 * time.Millisecond)
+	p.commit(1)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 1 {
+		t.Fatalf("submitted %d with a one-slot backlog, want 1", rep.Submitted)
+	}
+	if rep.Rejected != 19 { // 200/s × 0.1s = 20 offered, 1 admitted
+		t.Fatalf("rejected %d, want 19", rep.Rejected)
+	}
+	if rep.MaxBacklog < 1 {
+		t.Fatalf("MaxBacklog %d never observed the full backlog", rep.MaxBacklog)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	p := newHarness(t, Options{})
+	if _, err := RunLoad(context.Background(), []*Gateway{p.gw}, LoadOptions{}); err == nil {
+		t.Fatal("zero Rate/Duration accepted")
+	}
+	if _, err := RunLoad(context.Background(), nil, LoadOptions{Rate: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("empty gateway set accepted")
+	}
+}

@@ -16,6 +16,10 @@ type HandlerOptions struct {
 	Tracer *Tracer
 	// Health backs /healthz; nil serves an always-healthy probe.
 	Health func() Health
+	// Ingress, when non-nil, serves the client API under /v1/ on the
+	// same listener — one HTTP surface per node for operators and
+	// clients alike.
+	Ingress http.Handler
 }
 
 // NewHandler builds the endpoint map:
@@ -24,8 +28,12 @@ type HandlerOptions struct {
 //	/healthz        JSON health (HTTP 503 when commit progress stalled)
 //	/trace          JSONL dump of the protocol event ring
 //	/debug/pprof/*  standard Go profiling endpoints
+//	/v1/*           client ingress (submit/read/wait), when configured
 func NewHandler(o HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
+	if o.Ingress != nil {
+		mux.Handle("/v1/", o.Ingress)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = o.Registry.WritePrometheus(w)

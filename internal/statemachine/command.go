@@ -50,9 +50,37 @@ type ident struct {
 // ErrBadPayload is returned when decoding a malformed payload.
 var ErrBadPayload = errors.New("statemachine: malformed payload")
 
+// MaxPayloadBytes bounds an encoded block payload (4 MiB). It is
+// enforced on both sides of the wire: Queue.GetPayload never builds a
+// batch that encodes past it, and DecodePayload rejects anything larger
+// before parsing a single command.
+const MaxPayloadBytes = 4 << 20
+
+// payloadHeaderSize is the fixed encoding overhead of a payload (the
+// u32 command count).
+const payloadHeaderSize = 4
+
+// WireSize returns the exact number of bytes the command occupies inside
+// an encoded payload: u64 client + u64 seq + u8 op + two
+// u32-length-prefixed byte strings.
+func (c Command) WireSize() int {
+	return 8 + 8 + 1 + 4 + len(c.Key) + 4 + len(c.Value)
+}
+
+// EncodedPayloadSize returns the exact encoded size of a batch.
+func EncodedPayloadSize(cmds []Command) int {
+	size := payloadHeaderSize
+	for _, c := range cmds {
+		size += c.WireSize()
+	}
+	return size
+}
+
 // EncodePayload serialises a batch of commands into a block payload.
+// The encoder is sized exactly, so large batches serialise without
+// intermediate re-allocations.
 func EncodePayload(cmds []Command) []byte {
-	e := types.NewEncoder(32 * len(cmds))
+	e := types.NewEncoder(EncodedPayloadSize(cmds))
 	e.U32(uint32(len(cmds)))
 	for _, c := range cmds {
 		e.U64(c.Client)
@@ -69,6 +97,9 @@ func EncodePayload(cmds []Command) []byte {
 func DecodePayload(payload []byte) ([]Command, error) {
 	if len(payload) == 0 {
 		return nil, nil
+	}
+	if len(payload) > MaxPayloadBytes {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds %d", ErrBadPayload, len(payload), MaxPayloadBytes)
 	}
 	d := types.NewDecoder(payload)
 	count := int(d.U32())

@@ -73,6 +73,16 @@ func (kv *KV) Len() int {
 	return len(kv.data)
 }
 
+// AppliedSeq returns the highest Seq applied for a client (0 when the
+// client has never committed a command here) — the gateway uses it to
+// distinguish a resubmission of an already-finalized command from a
+// fresh one.
+func (kv *KV) AppliedSeq(client uint64) uint64 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.applied[client]
+}
+
 // AppliedOps returns the number of operations applied.
 func (kv *KV) AppliedOps() uint64 {
 	kv.mu.Lock()

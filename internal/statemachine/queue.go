@@ -1,10 +1,23 @@
 package statemachine
 
 import (
+	"errors"
 	"sync"
 
 	"icc/internal/crypto/hash"
 	"icc/internal/types"
+)
+
+// Typed admission errors returned by Queue.TrySubmit. The gateway maps
+// them onto its client-facing sentinels; in-process callers can test
+// them directly with errors.Is.
+var (
+	// ErrDuplicate: an identical (client, seq) command is already pending.
+	ErrDuplicate = errors.New("statemachine: duplicate (client, seq) command")
+	// ErrTooLarge: the command alone would not fit in a block payload.
+	ErrTooLarge = errors.New("statemachine: command exceeds the payload byte bound")
+	// ErrBacklogFull: the pending backlog is at MaxPending commands.
+	ErrBacklogFull = errors.New("statemachine: pending backlog full")
 )
 
 // Queue is a thread-safe pending-command queue implementing the
@@ -20,8 +33,14 @@ type Queue struct {
 
 	// MaxBatch bounds commands per payload (default 1024).
 	MaxBatch int
-	// MaxBytes bounds the encoded payload size (default 4 MiB).
+	// MaxBytes bounds the encoded payload size (default MaxPayloadBytes).
+	// GetPayload never builds a batch that encodes past it, and
+	// TrySubmit rejects any single command that could never fit.
 	MaxBytes int
+	// MaxPending bounds the pending backlog; TrySubmit returns
+	// ErrBacklogFull at the bound (0 = unbounded, the historical
+	// behaviour).
+	MaxPending int
 	// DedupDepth bounds how many ancestor blocks are consulted for
 	// duplicate suppression (default 64).
 	DedupDepth int
@@ -32,23 +51,41 @@ func NewQueue() *Queue {
 	return &Queue{
 		inFlight:   make(map[ident]struct{}),
 		MaxBatch:   1024,
-		MaxBytes:   4 << 20,
+		MaxBytes:   MaxPayloadBytes,
 		DedupDepth: 64,
 	}
 }
 
-// Submit enqueues a command. Returns false if an identical (client, seq)
-// command is already pending.
-func (q *Queue) Submit(c Command) bool {
+// TrySubmit enqueues a command, or reports with a typed error why it
+// was not admitted: ErrDuplicate for an identity already pending,
+// ErrTooLarge for a command no payload could carry, ErrBacklogFull at
+// the MaxPending bound. It never blocks — backpressure is the caller
+// seeing ErrBacklogFull and retrying later.
+func (q *Queue) TrySubmit(c Command) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if payloadHeaderSize+c.WireSize() > q.MaxBytes {
+		return ErrTooLarge
+	}
+	if q.MaxPending > 0 && len(q.pending) >= q.MaxPending {
+		return ErrBacklogFull
+	}
 	id := ident{c.Client, c.Seq}
 	if _, dup := q.inFlight[id]; dup {
-		return false
+		return ErrDuplicate
 	}
 	q.inFlight[id] = struct{}{}
 	q.pending = append(q.pending, c)
-	return true
+	return nil
+}
+
+// Submit enqueues a command, reporting false when it was not admitted.
+//
+// Deprecated: Submit collapses every admission failure into one bool.
+// Use TrySubmit for typed errors (duplicate vs. backlog full vs. too
+// large).
+func (q *Queue) Submit(c Command) bool {
+	return q.TrySubmit(c) == nil
 }
 
 // Len returns the number of pending commands.
@@ -83,22 +120,28 @@ func (q *Queue) MarkCommitted(payload []byte) {
 	q.pending = kept
 }
 
-// GetPayload implements core.PayloadSource.
+// GetPayload implements core.PayloadSource. The batch respects both
+// MaxBatch and MaxBytes exactly: building stops before the first
+// command that would push the encoded payload past the byte bound
+// (stopping, not skipping, preserves per-client Seq order).
 func (q *Queue) GetPayload(_ types.Round, parent *types.Block, lookup func(hash.Digest) *types.Block) []byte {
 	inChain := q.chainIdents(parent, lookup)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var batch []Command
-	bytes := 4
+	bytes := payloadHeaderSize
 	for _, c := range q.pending {
-		if len(batch) >= q.MaxBatch || bytes > q.MaxBytes {
+		if len(batch) >= q.MaxBatch {
 			break
 		}
 		if _, dup := inChain[ident{c.Client, c.Seq}]; dup {
 			continue
 		}
+		if bytes+c.WireSize() > q.MaxBytes {
+			break
+		}
 		batch = append(batch, c)
-		bytes += 17 + 8 + len(c.Key) + len(c.Value)
+		bytes += c.WireSize()
 	}
 	if len(batch) == 0 {
 		return nil

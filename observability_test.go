@@ -48,7 +48,9 @@ func TestWithMaxBatchBoundsBlocks(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	for i := uint64(1); i <= 3; i++ {
-		c.Submit(0, Command{Client: 1, Seq: i, Op: OpSet, Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
+		if _, err := c.Client(0).Submit(context.Background(), Command{Client: 1, Seq: i, Op: OpSet, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
 	}
 	// With one command per block, draining three commands takes at least
 	// three non-empty blocks; convergence on k3 proves batching still works.
