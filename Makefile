@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify2 race vet bench
+.PHONY: build test verify verify2 race vet bench bench-scale
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,17 @@ vet:
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/... ./internal/gateway/... ./internal/statemachine/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/gossip/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/... ./internal/gateway/... ./internal/statemachine/...
 
 # Regenerate the evaluation tables and record a machine-readable
 # BENCH_<timestamp>.json snapshot in the repo root.
 bench:
 	$(GO) run ./cmd/iccbench -json
+
+# The scale-out chart alone (E13): commits/s and bytes/party for
+# n ∈ {16, 31, 64, 100}, with the relay-aggregation A/B in the json.
+bench-scale:
+	$(GO) run ./cmd/iccbench -exp scaleout -json
 
 # Tier-2 verify: static analysis plus race detection on the layers where
 # goroutines, channels, and sockets actually interleave.

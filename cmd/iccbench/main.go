@@ -40,6 +40,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"catchup":        experiments.Catchup,
 	"durability":     experiments.Durability,
 	"gateway":        experiments.Gateway,
+	"scaleout":       experiments.Scaleout,
 }
 
 // benchSummary is the machine-readable run record written by -json, so

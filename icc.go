@@ -138,6 +138,10 @@ type Options struct {
 	Behaviors map[int]Behavior
 	// GossipFanout bounds the ICC1 overlay degree (default ≈ 2·log₂ n).
 	GossipFanout int
+	// GossipSeed seeds the ICC1 overlay's chord permutation (default 42).
+	// Clusters only connect to themselves, so the seed matters solely
+	// for reproducing a specific topology across runs.
+	GossipSeed int64
 	// MaxBatch bounds commands per block (default 1024).
 	MaxBatch int
 	// MetricsAddr, when non-empty, serves the observability endpoints
@@ -222,6 +226,17 @@ func WithBehavior(party int, b Behavior) Option {
 
 // WithGossipFanout bounds the ICC1 overlay degree.
 func WithGossipFanout(f int) Option { return func(o *Options) { o.GossipFanout = f } }
+
+// WithGossipTopology pins the ICC1 overlay shape: fanout bounds each
+// party's degree (validated against the cluster size at construction —
+// out-of-range values make NewLocalCluster fail rather than silently
+// clamp), seed selects the deterministic chord permutation.
+func WithGossipTopology(fanout int, seed int64) Option {
+	return func(o *Options) {
+		o.GossipFanout = fanout
+		o.GossipSeed = seed
+	}
+}
 
 // WithMaxBatch bounds the commands batched into one block proposal.
 func WithMaxBatch(n int) Option { return func(o *Options) { o.MaxBatch = n } }
@@ -505,7 +520,30 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			if fanout <= 0 {
 				fanout = defaultFanout(n)
 			}
-			eng = gossip.Wrap(gossip.Config{Self: types.PartyID(i), N: n, Fanout: fanout, Seed: 42}, eng)
+			seed := o.GossipSeed
+			if seed == 0 {
+				seed = 42
+			}
+			// Scale-out path: coalesce share gossip into ShareBundle frames
+			// and let relays forward an aggregated certificate once they
+			// hold a quorum of shares. With the verify pipeline in front
+			// (the default) every share reaching the overlay has already
+			// been signature-checked, so relays may combine without
+			// re-verifying (TrustShares).
+			g, err := gossip.New(gossip.Config{
+				Self:             types.PartyID(i),
+				N:                n,
+				Fanout:           fanout,
+				Seed:             seed,
+				ShareBatchWindow: 2 * time.Millisecond,
+				Aggregate:        true,
+				TrustShares:      o.VerifyWorkers >= 0,
+				Keys:             pub,
+			}, eng)
+			if err != nil {
+				return nil, fmt.Errorf("icc: party %d gossip: %w", i, err)
+			}
+			eng = g
 		case ICC2:
 			eng = rbc.Wrap(rbc.Config{Self: types.PartyID(i), N: n}, eng)
 		}
@@ -671,18 +709,6 @@ func (c *LocalCluster) Trace() []TraceEvent { return c.tracer.Events() }
 // (ErrNotRunning otherwise); a CrashFromBirth party's client never
 // serves.
 func (c *LocalCluster) Client(party int) *Client { return c.gws[party] }
-
-// Submit hands a command to one party's pending queue; the party will
-// include it in a future block proposal. Returns false when the command
-// was not admitted (duplicate, backlog full, oversized).
-//
-// Deprecated: Submit acknowledges admission, not replication, and
-// collapses every failure into one bool. Use Client(party).Submit: it
-// returns typed errors and a Receipt that resolves at finalization
-// with the read-your-writes token.
-func (c *LocalCluster) Submit(party int, cmd Command) bool {
-	return c.queues[party].TrySubmit(cmd) == nil
-}
 
 // KV returns party p's replicated key-value store.
 func (c *LocalCluster) KV(party int) *KV { return c.kvs[party] }

@@ -69,10 +69,10 @@ func TestLocalClusterModes(t *testing.T) {
 			}
 			c.Start()
 			defer c.Stop()
-			// Deliberately uses the deprecated bool-returning wrapper so the
-			// compatibility path keeps working until it is removed.
-			if !c.Submit(0, Command{Client: 1, Seq: 1, Op: OpSet, Key: "x", Value: []byte("y")}) {
-				t.Fatal("deprecated Submit wrapper rejected a fresh command")
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := c.Client(0).Submit(ctx, Command{Client: 1, Seq: 1, Op: OpSet, Key: "x", Value: []byte("y")}); err != nil {
+				t.Fatalf("submit rejected: %v", err)
 			}
 			if !c.WaitForCommits(3, 30*time.Second) {
 				t.Fatalf("mode %d made no progress", mode)
@@ -99,6 +99,11 @@ func TestLocalClusterWithCrash(t *testing.T) {
 func TestNewLocalClusterValidation(t *testing.T) {
 	if _, err := NewLocalCluster(0); err == nil {
 		t.Fatal("n=0 accepted")
+	}
+	// Gossip topology is validated, not clamped: a fanout the cluster
+	// size cannot satisfy fails construction.
+	if _, err := NewLocalCluster(4, WithMode(ICC1), WithGossipTopology(99, 7)); err == nil {
+		t.Fatal("out-of-range gossip fanout accepted")
 	}
 }
 

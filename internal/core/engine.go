@@ -193,6 +193,12 @@ func (e *Engine) ingest(from types.PartyID, m types.Message, now time.Duration) 
 		for _, sub := range v.Messages {
 			e.ingest(from, sub, now)
 		}
+	case *types.ShareBundle:
+		// Relay-coalesced shares: explode back into the individual
+		// artifacts, which take the ordinary admission paths.
+		for _, sub := range v.Expand() {
+			e.ingest(from, sub, now)
+		}
 	case *types.BlockMsg:
 		if v.Block == nil {
 			return
@@ -346,18 +352,18 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 	k := e.round
 	h, ok := e.pool.NotarizedInRound(k)
 	if !ok {
-		// Full share set for a valid but non-notarized block?
-		quorum := types.NotaryQuorum(e.cfg.Keys.N)
-		for _, h2 := range e.pool.BlocksInRound(k) {
-			if e.pool.Notarization(h2) != nil || e.pool.NotarShareCount(h2) < quorum || !e.pool.IsValid(h2) {
+		// Full share set for a valid but non-notarized block? Only blocks
+		// whose share count crossed the threshold are candidates, so this
+		// no longer rescans every block of the round per message.
+		for _, h2 := range e.pool.NotarReadyBlocks(k) {
+			if e.pool.Notarization(h2) != nil || !e.pool.IsValid(h2) {
+				continue
+			}
+			agg, ready := e.pool.NotarAggregateIfReady(h2)
+			if !ready {
 				continue
 			}
 			b := e.pool.Block(h2)
-			msg := types.SigningBytes(k, b.Proposer, h2)
-			agg, err := e.cfg.Keys.Notary.Combine(types.DomainNotarization, msg, e.pool.NotarShares(h2))
-			if err != nil {
-				continue
-			}
 			nz := &types.Notarization{Round: k, Proposer: b.Proposer, BlockHash: h2, Agg: agg.Encode()}
 			if added, _ := e.pool.AddNotarization(nz); added {
 				e.logArtifact(nz)
@@ -610,19 +616,17 @@ func (e *Engine) runFinalizer(now time.Duration) bool {
 
 // tryCommitRound attempts Fig. 2's body for one round.
 func (e *Engine) tryCommitRound(k types.Round, now time.Duration) bool {
-	quorum := types.NotaryQuorum(e.cfg.Keys.N)
-	for _, h := range e.pool.BlocksInRound(k) {
+	for _, h := range e.pool.FinalCandidateBlocks(k) {
 		finalized := e.pool.IsFinalized(h)
 		if !finalized {
-			if e.pool.FinalShareCount(h) < quorum || !e.pool.IsValid(h) {
+			if !e.pool.IsValid(h) {
+				continue
+			}
+			agg, ready := e.pool.FinalAggregateIfReady(h)
+			if !ready {
 				continue
 			}
 			b := e.pool.Block(h)
-			msg := types.SigningBytes(k, b.Proposer, h)
-			agg, err := e.cfg.Keys.Final.Combine(types.DomainFinalization, msg, e.pool.FinalShares(h))
-			if err != nil {
-				continue
-			}
 			fin := &types.Finalization{Round: k, Proposer: b.Proposer, BlockHash: h, Agg: agg.Encode()}
 			if added, _ := e.pool.AddFinalization(fin); !added {
 				continue

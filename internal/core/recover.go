@@ -72,14 +72,14 @@ func (e *Engine) rebuildRoundFlags() {
 		if b.Proposer == e.cfg.Self && e.pool.Authenticator(h) != nil {
 			e.proposed = true
 		}
-		for _, ns := range e.pool.NotarShareMessages(h) {
+		e.pool.ForEachNotarShareMessage(h, func(ns *types.NotarizationShare) {
 			if ns.Signer != e.cfg.Self {
-				continue
+				return
 			}
 			e.notarized[h] = true
 			if r, ok := e.rankOf[b.Proposer]; ok {
 				e.rankShared[r] = true
 			}
-		}
+		})
 	}
 }

@@ -154,12 +154,12 @@ func (e *Engine) maybeResync(now time.Duration) {
 		if nz := e.pool.Notarization(h); nz != nil {
 			msgs = append(msgs, nz)
 		}
-		for _, ns := range e.pool.NotarShareMessages(h) {
+		e.pool.ForEachNotarShareMessage(h, func(ns *types.NotarizationShare) {
 			msgs = append(msgs, ns)
-		}
-		for _, fs := range e.pool.FinalShareMessages(h) {
+		})
+		e.pool.ForEachFinalShareMessage(h, func(fs *types.FinalizationShare) {
 			msgs = append(msgs, fs)
-		}
+		})
 	}
 	// Our finalization frontier, so laggards learn what is settled.
 	if e.lastFinalHash != (hash.Digest{}) {

@@ -108,6 +108,43 @@ func (p *PublicInfo) Combine(domain hash.Domain, msg []byte, shares []*Share) (*
 	return agg, nil
 }
 
+// CombineVerified aggregates shares whose signatures the caller has
+// already verified (pool admission or an upstream verification
+// pipeline), skipping the per-share signature check Combine repeats.
+// Duplicates and out-of-range signers are still dropped — those are
+// structural, not cryptographic, properties. The caller's attestation
+// is load-bearing: feeding unverified shares here produces an aggregate
+// that other parties will reject.
+func (p *PublicInfo) CombineVerified(shares []*Share) (*Aggregate, error) {
+	bySigner := make(map[int][]byte, len(shares))
+	for _, s := range shares {
+		if s == nil || s.Signer < 0 || s.Signer >= p.N {
+			continue
+		}
+		if _, dup := bySigner[s.Signer]; dup {
+			continue
+		}
+		bySigner[s.Signer] = s.Signature
+		if len(bySigner) == p.Threshold {
+			break
+		}
+	}
+	if len(bySigner) < p.Threshold {
+		return nil, fmt.Errorf("%w: %d valid of %d needed", ErrNotEnoughShares, len(bySigner), p.Threshold)
+	}
+	agg := &Aggregate{
+		Signers: make([]int, 0, len(bySigner)),
+		Sigs:    make([][]byte, 0, len(bySigner)),
+	}
+	for i := 0; i < p.N; i++ {
+		if s, ok := bySigner[i]; ok {
+			agg.Signers = append(agg.Signers, i)
+			agg.Sigs = append(agg.Sigs, s)
+		}
+	}
+	return agg, nil
+}
+
 // Verify checks an aggregate: at least Threshold distinct in-range
 // signers, sorted without duplicates, each signature valid.
 func (p *PublicInfo) Verify(domain hash.Domain, msg []byte, agg *Aggregate) error {

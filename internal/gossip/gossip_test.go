@@ -26,9 +26,23 @@ func (s *sink) Tick(time.Duration) []engine.Output           { return nil }
 func (s *sink) NextWake(time.Duration) (time.Duration, bool) { return 0, false }
 func (s *sink) CurrentRound() types.Round                    { return 1 }
 
+// topo builds a validated topology or fails the test.
+func topo(t *testing.T, n, fanout int, seed int64) [][]types.PartyID {
+	t.Helper()
+	adj, err := Config{N: n, Fanout: fanout, Seed: seed}.Topology()
+	if err != nil {
+		t.Fatalf("topology(n=%d fanout=%d): %v", n, fanout, err)
+	}
+	return adj
+}
+
 func TestTopologyConnectedAndSymmetric(t *testing.T) {
 	for _, n := range []int{2, 4, 7, 13, 40} {
-		adj := Topology(n, 6, 42)
+		fanout := 6
+		if fanout > n-1 {
+			fanout = n - 1
+		}
+		adj := topo(t, n, fanout, 42)
 		if len(adj) != n {
 			t.Fatalf("n=%d: %d adjacency rows", n, len(adj))
 		}
@@ -74,8 +88,8 @@ func TestTopologyConnectedAndSymmetric(t *testing.T) {
 }
 
 func TestTopologyDeterministic(t *testing.T) {
-	a := Topology(13, 6, 7)
-	b := Topology(13, 6, 7)
+	a := topo(t, 13, 6, 7)
+	b := topo(t, 13, 6, 7)
 	for i := range a {
 		if len(a[i]) != len(b[i]) {
 			t.Fatal("topology not deterministic")
@@ -170,9 +184,9 @@ func TestAdvertRequestServe(t *testing.T) {
 	}
 }
 
-func TestAdvertTriggersRequestOncePerPeer(t *testing.T) {
+func TestAdvertSingleFlightWithRetry(t *testing.T) {
 	inner := &sink{id: 0}
-	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1, RequestRetry: 100 * time.Millisecond}, inner)
 	ref := types.RefOf(bigMsg())
 	adv := &types.Advert{Refs: []types.Ref{ref}}
 	outs := g.HandleMessage(g.Peers()[0], adv, 0)
@@ -186,15 +200,57 @@ func TestAdvertTriggersRequestOncePerPeer(t *testing.T) {
 	if outs := g.HandleMessage(g.Peers()[0], adv, 0); len(outs) != 0 {
 		t.Fatal("duplicate request to same peer")
 	}
-	// Same advert from another peer: request again (robustness against
-	// a non-answering first advertiser).
-	if outs := g.HandleMessage(g.Peers()[1], adv, 0); len(outs) != 1 {
-		t.Fatal("no request to second advertiser")
+	// Another advertiser while the first request is in flight: held in
+	// reserve, not asked — one download at a time per ref.
+	if outs := g.HandleMessage(g.Peers()[1], adv, 0); len(outs) != 0 {
+		t.Fatal("second advertiser asked while a request was in flight")
+	}
+	// The retry deadline must be visible to the scheduler.
+	if wake, ok := g.NextWake(0); !ok || wake != 100*time.Millisecond {
+		t.Fatalf("NextWake = %v, %v; want retry deadline", wake, ok)
+	}
+	// Past the retry deadline the reserve advertiser is asked
+	// (robustness against a non-answering first advertiser).
+	outs = g.Tick(100 * time.Millisecond)
+	asked := 0
+	for _, o := range outs {
+		if _, ok := o.Msg.(*types.Request); ok {
+			if o.To != g.Peers()[1] {
+				t.Fatalf("retry went to %d, want reserve peer %d", o.To, g.Peers()[1])
+			}
+			asked++
+		}
+	}
+	if asked != 1 {
+		t.Fatalf("%d retry requests, want 1", asked)
 	}
 	// Once the artifact arrives, further adverts are ignored.
-	g.HandleMessage(g.Peers()[2], bigMsg(), 0)
-	if outs := g.HandleMessage(g.Peers()[3], adv, 0); len(outs) != 0 {
+	g.HandleMessage(g.Peers()[2], bigMsg(), 100*time.Millisecond)
+	if outs := g.HandleMessage(g.Peers()[0], adv, 200*time.Millisecond); len(outs) != 0 {
 		t.Fatal("requested an artifact we already hold")
+	}
+}
+
+func TestCertificateStatementDedup(t *testing.T) {
+	inner := &sink{id: 0}
+	g := Wrap(Config{Self: 0, N: 7, Fanout: 3, Seed: 1}, inner)
+	stmt := func(agg []byte) *types.Notarization {
+		return &types.Notarization{Round: 3, Proposer: 1, BlockHash: [32]byte{7}, Agg: agg}
+	}
+	outs := g.HandleMessage(g.Peers()[0], stmt([]byte{1, 1}), 0)
+	if len(inner.received) != 1 || len(outs) == 0 {
+		t.Fatalf("first certificate not delivered/relayed (%d received, %d outs)", len(inner.received), len(outs))
+	}
+	// A byte-distinct certificate for the same statement (a different
+	// signer subset) is the same artifact: dropped, not re-flooded.
+	outs = g.HandleMessage(g.Peers()[1], stmt([]byte{2, 2, 2}), 0)
+	if len(outs) != 0 || len(inner.received) != 1 {
+		t.Fatalf("subset-variant certificate re-flooded (%d outs, %d received)", len(outs), len(inner.received))
+	}
+	// A certificate for a different statement still propagates.
+	other := &types.Notarization{Round: 4, Proposer: 2, BlockHash: [32]byte{8}, Agg: []byte{1}}
+	if outs := g.HandleMessage(g.Peers()[0], other, 0); len(outs) == 0 || len(inner.received) != 2 {
+		t.Fatal("distinct statement suppressed")
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"icc/internal/engine"
 	"icc/internal/gossip"
+	"icc/internal/pool"
 	"icc/internal/rbc"
 	"icc/internal/types"
 )
@@ -10,26 +11,33 @@ import (
 // wrapDissemination applies the mode's dissemination wrapper: the
 // identity for ICC0, the gossip sub-layer for ICC1, and the
 // erasure-coded reliable broadcast for ICC2.
-func (c *Cluster) wrapDissemination(pid types.PartyID, inner engine.Engine) engine.Engine {
+func (c *Cluster) wrapDissemination(pid types.PartyID, inner engine.Engine) (engine.Engine, error) {
 	switch c.Opts.Mode {
 	case ICC1:
 		fanout := c.Opts.GossipFanout
 		if fanout <= 0 {
 			fanout = defaultFanout(c.Opts.N)
 		}
-		return gossip.Wrap(gossip.Config{
-			Self:   pid,
-			N:      c.Opts.N,
-			Fanout: fanout,
-			Seed:   c.Opts.Seed,
+		return gossip.New(gossip.Config{
+			Self:             pid,
+			N:                c.Opts.N,
+			Fanout:           fanout,
+			Seed:             c.Opts.Seed,
+			ShareBatchWindow: c.Opts.GossipBatchWindow,
+			Aggregate:        c.Opts.GossipAggregate,
+			// VerifySharesOnly sweeps already trust locally combined
+			// aggregates; relay-side combination rests on the same basis.
+			// Under VerifyFull relays verify shares while combining.
+			TrustShares: c.Opts.Verify == pool.VerifySharesOnly,
+			Keys:        c.Pub,
 		}, inner)
 	case ICC2:
 		return rbc.Wrap(rbc.Config{
 			Self: pid,
 			N:    c.Opts.N,
-		}, inner)
+		}, inner), nil
 	default:
-		return inner
+		return inner, nil
 	}
 }
 

@@ -85,6 +85,16 @@ type Options struct {
 	Mode Mode
 	// GossipFanout bounds each party's gossip neighbourhood (ICC1).
 	GossipFanout int
+	// GossipBatchWindow coalesces share gossip into ShareBundle frames
+	// flushed after this delay (ICC1 only; 0 keeps per-share relaying).
+	GossipBatchWindow time.Duration
+	// GossipAggregate lets ICC1 relays forward one aggregated
+	// certificate instead of n−t individual shares once they hold a
+	// quorum for a statement. Under pool.VerifySharesOnly the relays
+	// combine without re-checking signatures (the sweep already trusts
+	// locally combined aggregates); under pool.VerifyFull they verify
+	// while combining.
+	GossipAggregate bool
 
 	Adaptive   bool
 	PruneDepth types.Round
@@ -168,7 +178,10 @@ func New(opts Options) (*Cluster, error) {
 		case Equivocator:
 			eng = adversary.NewEquivocator(inner, opts.N, privs[i].Auth)
 		}
-		eng = c.wrapDissemination(pid, eng)
+		eng, err = c.wrapDissemination(pid, eng)
+		if err != nil {
+			return nil, fmt.Errorf("harness: party %d: %w", pid, err)
+		}
 		if w, ok := opts.CrashRecoveries[pid]; ok {
 			eng = adversary.NewCrashRecover(eng, w.Down, w.Up)
 		}

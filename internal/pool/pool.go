@@ -47,6 +47,19 @@ type Pool struct {
 	// everything.
 	finalizableDirty map[types.Round]struct{}
 
+	// Count-threshold indices: blocks whose share sets crossed the
+	// combination threshold (or that received a combined certificate),
+	// per round. The engine's hot loops iterate these short candidate
+	// lists instead of scanning every block of the round — at n=100 a
+	// round can hold several equivocating proposals with O(n) shares
+	// each, and the per-message rescan was the pool's dominant cost.
+	notarReady map[types.Round][]hash.Digest
+	finalReady map[types.Round][]hash.Digest
+
+	// nzInRound memoizes NotarizedInRound hits. Notarization is monotone,
+	// so a hit stays correct; misses re-scan (the answer can change).
+	nzInRound map[types.Round]hash.Digest
+
 	// verifier performs the cryptographic admission checks. Structural
 	// checks that depend on pool state (duplicates, block contradiction)
 	// remain in the Add methods themselves.
@@ -84,6 +97,9 @@ func New(pub *keys.Public, self types.PartyID, opts Options) *Pool {
 		finalization:     make(map[hash.Digest]*types.Finalization),
 		validCache:       make(map[hash.Digest]bool),
 		finalizableDirty: make(map[types.Round]struct{}),
+		notarReady:       make(map[types.Round][]hash.Digest),
+		finalReady:       make(map[types.Round][]hash.Digest),
+		nzInRound:        make(map[types.Round]hash.Digest),
 		verifier:         opts.Verifier,
 	}
 	if p.verifier == nil {
@@ -155,7 +171,20 @@ func (p *Pool) AddNotarizationShare(s *types.NotarizationShare) (bool, error) {
 		p.notarShares[s.BlockHash] = m
 	}
 	m[s.Signer] = s
+	if len(m) == p.pub.Notary.Threshold {
+		p.markReady(p.notarReady, s.Round, s.BlockHash)
+	}
 	return true, nil
+}
+
+// markReady appends h to a per-round candidate list, once.
+func (p *Pool) markReady(idx map[types.Round][]hash.Digest, k types.Round, h hash.Digest) {
+	for _, have := range idx[k] {
+		if have == h {
+			return
+		}
+	}
+	idx[k] = append(idx[k], h)
 }
 
 // AddNotarization verifies and stores a combined notarization (same
@@ -196,6 +225,9 @@ func (p *Pool) AddFinalizationShare(s *types.FinalizationShare) (bool, error) {
 	}
 	m[s.Signer] = s
 	p.finalizableDirty[s.Round] = struct{}{}
+	if len(m) == p.pub.Final.Threshold {
+		p.markReady(p.finalReady, s.Round, s.BlockHash)
+	}
 	return true, nil
 }
 
@@ -213,6 +245,7 @@ func (p *Pool) AddFinalization(f *types.Finalization) (bool, error) {
 	}
 	p.finalization[f.BlockHash] = f
 	p.finalizableDirty[f.Round] = struct{}{}
+	p.markReady(p.finalReady, f.Round, f.BlockHash)
 	return true, nil
 }
 
@@ -288,10 +321,16 @@ func (p *Pool) BlocksInRound(k types.Round) []hash.Digest {
 }
 
 // NotarizedInRound returns the first notarized block of the round found,
-// if any.
+// if any. Hits are memoized (notarization is monotone), so the hot
+// callers — tryPropose consulting round k−1, resync consulting the
+// current round — pay the linear scan at most once per round.
 func (p *Pool) NotarizedInRound(k types.Round) (hash.Digest, bool) {
+	if h, ok := p.nzInRound[k]; ok {
+		return h, true
+	}
 	for _, h := range p.byRound[k] {
 		if p.IsNotarized(h) {
+			p.nzInRound[k] = h
 			return h, true
 		}
 	}
@@ -304,6 +343,10 @@ func (p *Pool) NotarShareCount(h hash.Digest) int { return len(p.notarShares[h])
 
 // NotarShares returns the verified notarization shares for the block as
 // multisig shares ready for combination.
+//
+// Deprecated: NotarShares materialises an O(n) slice per call, and its
+// callers invariably re-verified every share inside multisig.Combine.
+// Use NotarShareCount to poll and NotarAggregateIfReady to combine.
 func (p *Pool) NotarShares(h hash.Digest) []*multisig.Share {
 	m := p.notarShares[h]
 	out := make([]*multisig.Share, 0, len(m))
@@ -315,18 +358,29 @@ func (p *Pool) NotarShares(h hash.Digest) []*multisig.Share {
 	return out
 }
 
-// NotarShareMessages returns the held notarization shares for the block
-// as re-transmittable wire messages, ordered by signer (the resync layer
-// re-broadcasts them when a round stalls).
-func (p *Pool) NotarShareMessages(h hash.Digest) []*types.NotarizationShare {
+// NotarAggregateIfReady combines the held notarization shares for the
+// block into an aggregate, reporting false while fewer than threshold
+// distinct shares are held. Every share in the pool passed admission
+// verification (the verifier, or — under VerifyPreVerified — the
+// upstream pipeline that policy attests to), so combination skips the
+// per-share signature re-check the old NotarShares+Combine path paid on
+// every poll.
+func (p *Pool) NotarAggregateIfReady(h hash.Digest) (*multisig.Aggregate, bool) {
+	return aggregateIfReady(p.pub.Notary, sharesOf(p.notarShares[h], func(s *types.NotarizationShare) (types.PartyID, []byte) {
+		return s.Signer, s.Sig
+	}))
+}
+
+// ForEachNotarShareMessage visits the held notarization shares for the
+// block in signer order (deterministic, for byte-stable resync bundles)
+// without materialising a slice.
+func (p *Pool) ForEachNotarShareMessage(h hash.Digest, fn func(*types.NotarizationShare)) {
 	m := p.notarShares[h]
-	out := make([]*types.NotarizationShare, 0, len(m))
-	for pid := 0; pid < p.pub.N; pid++ {
+	for pid := 0; len(m) > 0 && pid < p.pub.N; pid++ {
 		if s, ok := m[types.PartyID(pid)]; ok {
-			out = append(out, s)
+			fn(s)
 		}
 	}
-	return out
 }
 
 // Notarization returns the stored notarization for the block, if any.
@@ -337,6 +391,9 @@ func (p *Pool) Notarization(h hash.Digest) *types.Notarization { return p.notari
 func (p *Pool) FinalShareCount(h hash.Digest) int { return len(p.finalShares[h]) }
 
 // FinalShares returns the verified finalization shares for the block.
+//
+// Deprecated: FinalShares materialises an O(n) slice per call. Use
+// FinalShareCount to poll and FinalAggregateIfReady to combine.
 func (p *Pool) FinalShares(h hash.Digest) []*multisig.Share {
 	m := p.finalShares[h]
 	out := make([]*multisig.Share, 0, len(m))
@@ -348,18 +405,60 @@ func (p *Pool) FinalShares(h hash.Digest) []*multisig.Share {
 	return out
 }
 
-// FinalShareMessages returns the held finalization shares for the block
-// as re-transmittable wire messages, ordered by signer.
-func (p *Pool) FinalShareMessages(h hash.Digest) []*types.FinalizationShare {
+// FinalAggregateIfReady combines the held finalization shares for the
+// block into an aggregate, reporting false while fewer than threshold
+// distinct shares are held (same verification contract as
+// NotarAggregateIfReady).
+func (p *Pool) FinalAggregateIfReady(h hash.Digest) (*multisig.Aggregate, bool) {
+	return aggregateIfReady(p.pub.Final, sharesOf(p.finalShares[h], func(s *types.FinalizationShare) (types.PartyID, []byte) {
+		return s.Signer, s.Sig
+	}))
+}
+
+// ForEachFinalShareMessage visits the held finalization shares for the
+// block in signer order without materialising a slice.
+func (p *Pool) ForEachFinalShareMessage(h hash.Digest, fn func(*types.FinalizationShare)) {
 	m := p.finalShares[h]
-	out := make([]*types.FinalizationShare, 0, len(m))
-	for pid := 0; pid < p.pub.N; pid++ {
+	for pid := 0; len(m) > 0 && pid < p.pub.N; pid++ {
 		if s, ok := m[types.PartyID(pid)]; ok {
-			out = append(out, s)
+			fn(s)
 		}
+	}
+}
+
+// sharesOf converts a signer-keyed share map into multisig shares.
+func sharesOf[S any](m map[types.PartyID]S, fields func(S) (types.PartyID, []byte)) []*multisig.Share {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*multisig.Share, 0, len(m))
+	for _, s := range m {
+		signer, sg := fields(s)
+		out = append(out, &multisig.Share{Signer: int(signer), Signature: sg})
 	}
 	return out
 }
+
+func aggregateIfReady(info *multisig.PublicInfo, shares []*multisig.Share) (*multisig.Aggregate, bool) {
+	if len(shares) < info.Threshold {
+		return nil, false
+	}
+	agg, err := info.CombineVerified(shares)
+	if err != nil {
+		return nil, false
+	}
+	return agg, true
+}
+
+// NotarReadyBlocks returns the round's blocks whose notarization share
+// sets reached the combination threshold — the candidate list
+// tryFinishRound iterates instead of every block of the round.
+func (p *Pool) NotarReadyBlocks(k types.Round) []hash.Digest { return p.notarReady[k] }
+
+// FinalCandidateBlocks returns the round's blocks holding either a
+// finalization certificate or a threshold set of finalization shares —
+// the candidate list the finalizer iterates.
+func (p *Pool) FinalCandidateBlocks(k types.Round) []hash.Digest { return p.finalReady[k] }
 
 // Finalization returns the stored finalization for the block, if any.
 func (p *Pool) Finalization(h hash.Digest) *types.Finalization { return p.finalization[h] }
@@ -427,9 +526,11 @@ func (p *Pool) InstallCheckpoint(b *types.Block, nz *types.Notarization, fz *typ
 		p.byRound[b.Round] = append(p.byRound[b.Round], h)
 	}
 	p.notarization[h] = nz
+	p.markReady(p.notarReady, b.Round, h)
 	if fz != nil {
 		p.finalization[h] = fz
 		p.finalizableDirty[b.Round] = struct{}{}
+		p.markReady(p.finalReady, b.Round, h)
 	}
 	p.validCache[h] = true
 }
@@ -468,6 +569,21 @@ func (p *Pool) Prune(before types.Round) {
 	for k := range p.finalizableDirty {
 		if k < before {
 			delete(p.finalizableDirty, k)
+		}
+	}
+	for k := range p.notarReady {
+		if k != 0 && k < before {
+			delete(p.notarReady, k)
+		}
+	}
+	for k := range p.finalReady {
+		if k != 0 && k < before {
+			delete(p.finalReady, k)
+		}
+	}
+	for k := range p.nzInRound {
+		if k != 0 && k < before {
+			delete(p.nzInRound, k)
 		}
 	}
 }

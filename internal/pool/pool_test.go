@@ -60,11 +60,9 @@ func (f *fixture) fshare(b *types.Block, signer types.PartyID) *types.Finalizati
 
 func (f *fixture) notarization(t testing.TB, b *types.Block) *types.Notarization {
 	t.Helper()
-	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
-	shares := f.pool.NotarShares(b.Hash())
-	agg, err := f.pub.Notary.Combine(types.DomainNotarization, msg, shares)
-	if err != nil {
-		t.Fatal(err)
+	agg, ok := f.pool.NotarAggregateIfReady(b.Hash())
+	if !ok {
+		t.Fatal("notarization shares not ready to combine")
 	}
 	return &types.Notarization{Round: b.Round, Proposer: b.Proposer, BlockHash: b.Hash(), Agg: agg.Encode()}
 }
@@ -245,10 +243,9 @@ func TestFinalizationFlow(t *testing.T) {
 	if f.pool.FinalShareCount(b.Hash()) != 3 {
 		t.Fatal("final share count wrong")
 	}
-	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
-	agg, err := f.pub.Final.Combine(types.DomainFinalization, msg, f.pool.FinalShares(b.Hash()))
-	if err != nil {
-		t.Fatal(err)
+	agg, ok := f.pool.FinalAggregateIfReady(b.Hash())
+	if !ok {
+		t.Fatal("finalization shares not ready to combine")
 	}
 	fin := &types.Finalization{Round: 1, Proposer: 0, BlockHash: b.Hash(), Agg: agg.Encode()}
 	if !added(f.pool.AddFinalization(fin)) {
@@ -408,5 +405,107 @@ func TestShareRoundMismatchRejected(t *testing.T) {
 	fs.Sig = f.privs[1].Final.Sign(types.DomainFinalization, msg).Signature
 	if _, err := f.pool.AddFinalizationShare(fs); !errors.Is(err, crypto.Mismatch) {
 		t.Fatalf("round-mismatched finalization share: err = %v", err)
+	}
+}
+
+func TestReadyIndices(t *testing.T) {
+	f := newFixture(t, 4) // threshold n−t = 3
+	b := f.block(1, 0, f.pool.RootHash(), "x")
+	f.pool.AddBlock(b)
+	f.pool.AddAuthenticator(f.auth(b))
+	h := b.Hash()
+
+	// Below threshold: no candidates, no aggregate.
+	for i := 0; i < 2; i++ {
+		f.pool.AddNotarizationShare(f.nshare(b, types.PartyID(i)))
+	}
+	if got := f.pool.NotarReadyBlocks(1); len(got) != 0 {
+		t.Fatalf("notar-ready below threshold: %v", got)
+	}
+	if _, ok := f.pool.NotarAggregateIfReady(h); ok {
+		t.Fatal("aggregate produced below threshold")
+	}
+
+	// Crossing the threshold registers the block exactly once.
+	f.pool.AddNotarizationShare(f.nshare(b, 2))
+	f.pool.AddNotarizationShare(f.nshare(b, 3))
+	if got := f.pool.NotarReadyBlocks(1); len(got) != 1 || got[0] != h {
+		t.Fatalf("notar-ready = %v, want [%x]", got, h[:4])
+	}
+	agg, ok := f.pool.NotarAggregateIfReady(h)
+	if !ok {
+		t.Fatal("aggregate not ready at threshold")
+	}
+	msg := types.SigningBytes(1, 0, h)
+	if err := f.pub.Notary.Verify(types.DomainNotarization, msg, agg); err != nil {
+		t.Fatalf("pool-combined aggregate does not verify: %v", err)
+	}
+
+	// Finalization candidates appear both via the share threshold and via
+	// a combined certificate — still deduplicated.
+	for i := 0; i < 3; i++ {
+		f.pool.AddFinalizationShare(f.fshare(b, types.PartyID(i)))
+	}
+	fagg, ok := f.pool.FinalAggregateIfReady(h)
+	if !ok {
+		t.Fatal("final aggregate not ready at threshold")
+	}
+	fin := &types.Finalization{Round: 1, Proposer: 0, BlockHash: h, Agg: fagg.Encode()}
+	if !added(f.pool.AddFinalization(fin)) {
+		t.Fatal("finalization rejected")
+	}
+	if got := f.pool.FinalCandidateBlocks(1); len(got) != 1 || got[0] != h {
+		t.Fatalf("final candidates = %v, want exactly [%x]", got, h[:4])
+	}
+}
+
+func TestForEachShareMessageOrder(t *testing.T) {
+	f := newFixture(t, 4)
+	b := f.block(1, 0, f.pool.RootHash(), "x")
+	f.pool.AddBlock(b)
+	h := b.Hash()
+	// Insert out of signer order; iteration must be signer-ascending
+	// (resync bundles depend on deterministic bytes).
+	for _, signer := range []types.PartyID{3, 1, 2} {
+		f.pool.AddNotarizationShare(f.nshare(b, signer))
+		f.pool.AddFinalizationShare(f.fshare(b, signer))
+	}
+	var norder, forder []types.PartyID
+	f.pool.ForEachNotarShareMessage(h, func(s *types.NotarizationShare) {
+		norder = append(norder, s.Signer)
+	})
+	f.pool.ForEachFinalShareMessage(h, func(s *types.FinalizationShare) {
+		forder = append(forder, s.Signer)
+	})
+	want := []types.PartyID{1, 2, 3}
+	for i := range want {
+		if norder[i] != want[i] || forder[i] != want[i] {
+			t.Fatalf("iteration order notar=%v final=%v, want %v", norder, forder, want)
+		}
+	}
+}
+
+func TestPruneClearsIndices(t *testing.T) {
+	f := newFixture(t, 4)
+	b1 := f.block(1, 0, f.pool.RootHash(), "a")
+	f.notarize(t, b1)
+	if _, ok := f.pool.NotarizedInRound(1); !ok {
+		t.Fatal("round 1 not notarized")
+	}
+	b2 := f.block(2, 1, b1.Hash(), "b")
+	f.notarize(t, b2)
+	f.pool.Prune(2)
+	if got := f.pool.NotarReadyBlocks(1); got != nil {
+		t.Fatalf("pruned round still notar-ready: %v", got)
+	}
+	if _, ok := f.pool.NotarizedInRound(1); ok {
+		t.Fatal("pruned round still memoized as notarized")
+	}
+	// Retained round keeps its index; round 0 (root) survives any cut.
+	if got := f.pool.NotarReadyBlocks(2); len(got) != 1 {
+		t.Fatalf("retained round lost its candidate list: %v", got)
+	}
+	if _, ok := f.pool.NotarizedInRound(0); !ok {
+		t.Fatal("root round lost notarization")
 	}
 }

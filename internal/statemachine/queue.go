@@ -79,15 +79,6 @@ func (q *Queue) TrySubmit(c Command) error {
 	return nil
 }
 
-// Submit enqueues a command, reporting false when it was not admitted.
-//
-// Deprecated: Submit collapses every admission failure into one bool.
-// Use TrySubmit for typed errors (duplicate vs. backlog full vs. too
-// large).
-func (q *Queue) Submit(c Command) bool {
-	return q.TrySubmit(c) == nil
-}
-
 // Len returns the number of pending commands.
 func (q *Queue) Len() int {
 	q.mu.Lock()

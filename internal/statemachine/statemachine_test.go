@@ -2,6 +2,7 @@ package statemachine
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -126,11 +127,11 @@ func TestKVStateHashDeterministic(t *testing.T) {
 
 func TestQueueSubmitDedup(t *testing.T) {
 	q := NewQueue()
-	if !q.Submit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "k"}) {
-		t.Fatal("first submit rejected")
+	if err := q.TrySubmit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "k"}); err != nil {
+		t.Fatalf("first submit rejected: %v", err)
 	}
-	if q.Submit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "k"}) {
-		t.Fatal("duplicate submit accepted")
+	if err := q.TrySubmit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "k"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate submit: err = %v, want ErrDuplicate", err)
 	}
 	if q.Len() != 1 {
 		t.Fatalf("len = %d", q.Len())
@@ -140,7 +141,9 @@ func TestQueueSubmitDedup(t *testing.T) {
 func TestQueueGetPayloadBatchesAndSkipsChain(t *testing.T) {
 	q := NewQueue()
 	for i := uint64(1); i <= 5; i++ {
-		q.Submit(Command{Client: 7, Seq: i, Op: OpSet, Key: "k", Value: []byte{byte(i)}})
+		if err := q.TrySubmit(Command{Client: 7, Seq: i, Op: OpSet, Key: "k", Value: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	// Build a parent block whose payload already contains seq 1 and 2.
 	parentPayload := EncodePayload([]Command{
@@ -165,7 +168,9 @@ func TestQueueGetPayloadBatchesAndSkipsChain(t *testing.T) {
 
 func TestQueueGetPayloadWalksAncestors(t *testing.T) {
 	q := NewQueue()
-	q.Submit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "a"})
+	if err := q.TrySubmit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "a"}); err != nil {
+		t.Fatal(err)
+	}
 	grand := &types.Block{Round: 1, Proposer: 0,
 		Payload: EncodePayload([]Command{{Client: 1, Seq: 1, Op: OpSet, Key: "a"}})}
 	parent := &types.Block{Round: 2, Proposer: 1, ParentHash: grand.Hash()}
@@ -182,16 +187,20 @@ func TestQueueGetPayloadWalksAncestors(t *testing.T) {
 
 func TestQueueMarkCommitted(t *testing.T) {
 	q := NewQueue()
-	q.Submit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "a"})
-	q.Submit(Command{Client: 1, Seq: 2, Op: OpSet, Key: "b"})
+	if err := q.TrySubmit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySubmit(Command{Client: 1, Seq: 2, Op: OpSet, Key: "b"}); err != nil {
+		t.Fatal(err)
+	}
 	q.MarkCommitted(EncodePayload([]Command{{Client: 1, Seq: 1, Op: OpSet, Key: "a"}}))
 	if q.Len() != 1 {
 		t.Fatalf("len = %d after commit", q.Len())
 	}
 	// The identity is freed: resubmitting the committed command works
 	// (the KV layer's watermark still dedups it).
-	if !q.Submit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "a"}) {
-		t.Fatal("resubmit after commit rejected")
+	if err := q.TrySubmit(Command{Client: 1, Seq: 1, Op: OpSet, Key: "a"}); err != nil {
+		t.Fatalf("resubmit after commit rejected: %v", err)
 	}
 }
 
@@ -206,7 +215,9 @@ func TestQueueMaxBatch(t *testing.T) {
 	q := NewQueue()
 	q.MaxBatch = 3
 	for i := uint64(1); i <= 10; i++ {
-		q.Submit(Command{Client: 1, Seq: i, Op: OpSet, Key: "k"})
+		if err := q.TrySubmit(Command{Client: 1, Seq: i, Op: OpSet, Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	cmds, err := DecodePayload(q.GetPayload(1, types.RootBlock(), nil))
 	if err != nil {
@@ -225,7 +236,7 @@ func TestQueueConcurrentSubmit(t *testing.T) {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := uint64(1); i <= 100; i++ {
-				q.Submit(Command{Client: uint64(g), Seq: i, Op: OpSet, Key: "k"})
+				_ = q.TrySubmit(Command{Client: uint64(g), Seq: i, Op: OpSet, Key: "k"})
 			}
 		}()
 	}

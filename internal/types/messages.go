@@ -13,7 +13,8 @@ type Kind uint8
 // Message kinds. Kinds 1–7 are the artifacts of ICC0 (paper §3.4);
 // 8 is a transport-level bundle; 9–10 belong to the gossip sub-layer
 // (ICC1); 11 to the erasure-coded reliable broadcast (ICC2); 14–15 to
-// the durability layer (signed finalized-state checkpoints).
+// the durability layer (signed finalized-state checkpoints); 16 is the
+// gossip relay's coalesced share batch (sharebundle.go).
 const (
 	KindBlock Kind = iota + 1
 	KindAuthenticator
@@ -30,6 +31,7 @@ const (
 	KindStatus
 	KindCheckpointShare
 	KindCheckpoint
+	KindShareBundle
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +67,8 @@ func (k Kind) String() string {
 		return "checkpoint-share"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindShareBundle:
+		return "share-bundle"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -525,6 +529,12 @@ func decodeBody(k Kind, d *Decoder) (Message, error) {
 		c := &CheckpointMsg{}
 		c.Blob = d.VarBytes()
 		m = c
+	case KindShareBundle:
+		sb, err := decodeShareBundle(d)
+		if err != nil {
+			return nil, err
+		}
+		m = sb
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
@@ -553,6 +563,21 @@ func decodeQuorum(d *Decoder) (Round, PartyID, hash.Digest, []byte) {
 
 // RefOf computes the gossip Ref of a message: its kind plus the hash of
 // its canonical encoding.
+//
+// Quorum certificates are the exception: their ID hashes the signed
+// statement (round, proposer, block) rather than the encoding. Any two
+// valid certificates for one statement are interchangeable — they differ
+// only in which n−t signer subset happened to combine — so giving every
+// subset variant its own ref would make the overlay flood up to n
+// distinct copies of the same logical fact. Under the statement ref the
+// first certificate to transit wins and every later variant deduplicates
+// away, including a party's own locally combined copy.
 func RefOf(m Message) Ref {
+	switch v := m.(type) {
+	case *Notarization:
+		return Ref{Kind: KindNotarization, ID: hash.Sum(hash.DomainPayload, SigningBytes(v.Round, v.Proposer, v.BlockHash))}
+	case *Finalization:
+		return Ref{Kind: KindFinalization, ID: hash.Sum(hash.DomainPayload, SigningBytes(v.Round, v.Proposer, v.BlockHash))}
+	}
 	return Ref{Kind: m.Kind(), ID: hash.Sum(hash.DomainPayload, Marshal(m))}
 }

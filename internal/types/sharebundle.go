@@ -1,0 +1,199 @@
+package types
+
+import (
+	"fmt"
+
+	"icc/internal/crypto/hash"
+)
+
+// ShareBundle coalesces the small per-round signature shares a gossip
+// relay holds into one framed message. At n=100 a round produces ~100
+// beacon shares and up to ~100 notarization plus ~100 finalization
+// shares, each ~124 bytes on the wire with its own statement header —
+// but nearly all of them repeat the same (round, proposer, blockHash)
+// statement. Grouping shares by statement amortises the 48-byte header
+// across every signature for that statement, so an extra share costs
+// header-free ~76 bytes instead of a full message, and the transport
+// pays one frame instead of dozens.
+//
+// The bundle is a pure transport container: receivers explode it back
+// into individual NotarizationShare/FinalizationShare/BeaconShare
+// messages, which re-enter pools through the ordinary admission paths
+// with their original signatures. Deduplication in the gossip layer
+// keys on the individual shares, so the same share arriving in two
+// differently-grouped bundles is still recognised.
+type ShareBundle struct {
+	Notar  []ShareGroup
+	Final  []ShareGroup
+	Beacon []*BeaconShare
+}
+
+// ShareGroup is every held signature share for one statement
+// (round, proposer, blockHash). Signers and Sigs are parallel slices.
+type ShareGroup struct {
+	Round     Round
+	Proposer  PartyID
+	BlockHash hash.Digest
+	Signers   []PartyID
+	Sigs      [][]byte
+}
+
+// Kind implements Message.
+func (*ShareBundle) Kind() Kind { return KindShareBundle }
+
+var _ Message = (*ShareBundle)(nil)
+
+// shareGroupHeaderSize is the per-statement cost of a group: round u64,
+// proposer u64, blockHash 32, signer count u16.
+const shareGroupHeaderSize = 8 + 8 + 32 + 2
+
+// WireSize returns the exact encoded size of the group inside a
+// ShareBundle body.
+func (g *ShareGroup) WireSize() int {
+	size := shareGroupHeaderSize
+	for _, s := range g.Sigs {
+		size += 8 + 4 + len(s) // signer u64 + sig var-bytes
+	}
+	return size
+}
+
+// WireSize returns the exact number of bytes Marshal produces for the
+// bundle, kind prefix included. Relays use it to decide when a pending
+// batch justifies a frame; the encode tests pin it byte-exact against
+// len(Marshal(b)).
+func (b *ShareBundle) WireSize() int {
+	size := 1 + 2 + 2 + 2 // kind prefix + three u16 counts
+	for i := range b.Notar {
+		size += b.Notar[i].WireSize()
+	}
+	for i := range b.Final {
+		size += b.Final[i].WireSize()
+	}
+	for _, s := range b.Beacon {
+		size += 8 + 8 + 4 + len(s.Share) // round u64 + signer u64 + share var-bytes
+	}
+	return size
+}
+
+// Shares returns the bundle's total share count across all sections.
+func (b *ShareBundle) Shares() int {
+	n := len(b.Beacon)
+	for i := range b.Notar {
+		n += len(b.Notar[i].Signers)
+	}
+	for i := range b.Final {
+		n += len(b.Final[i].Signers)
+	}
+	return n
+}
+
+func encodeShareGroups(e *Encoder, groups []ShareGroup) {
+	e.U16(uint16(len(groups)))
+	for i := range groups {
+		g := &groups[i]
+		e.U64(uint64(g.Round))
+		e.U64(uint64(int64(g.Proposer)))
+		e.Bytes32(g.BlockHash)
+		e.U16(uint16(len(g.Signers)))
+		for j, signer := range g.Signers {
+			e.U64(uint64(int64(signer)))
+			e.VarBytes(g.Sigs[j])
+		}
+	}
+}
+
+func (b *ShareBundle) encodeBody(e *Encoder) {
+	encodeShareGroups(e, b.Notar)
+	encodeShareGroups(e, b.Final)
+	e.U16(uint16(len(b.Beacon)))
+	for _, s := range b.Beacon {
+		e.U64(uint64(s.Round))
+		e.U64(uint64(int64(s.Signer)))
+		e.VarBytes(s.Share)
+	}
+}
+
+func decodeShareGroups(d *Decoder) ([]ShareGroup, error) {
+	count := int(d.U16())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	groups := make([]ShareGroup, 0, count)
+	for i := 0; i < count; i++ {
+		var g ShareGroup
+		g.Round = Round(d.U64())
+		g.Proposer = PartyID(int64(d.U64()))
+		g.BlockHash = d.Bytes32()
+		signers := int(d.U16())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		g.Signers = make([]PartyID, 0, signers)
+		g.Sigs = make([][]byte, 0, signers)
+		for j := 0; j < signers; j++ {
+			g.Signers = append(g.Signers, PartyID(int64(d.U64())))
+			g.Sigs = append(g.Sigs, d.VarBytes())
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+func decodeShareBundle(d *Decoder) (*ShareBundle, error) {
+	b := &ShareBundle{}
+	var err error
+	if b.Notar, err = decodeShareGroups(d); err != nil {
+		return nil, fmt.Errorf("share bundle notarization groups: %w", err)
+	}
+	if b.Final, err = decodeShareGroups(d); err != nil {
+		return nil, fmt.Errorf("share bundle finalization groups: %w", err)
+	}
+	count := int(d.U16())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	b.Beacon = make([]*BeaconShare, 0, count)
+	for i := 0; i < count; i++ {
+		s := &BeaconShare{}
+		s.Round = Round(d.U64())
+		s.Signer = PartyID(int64(d.U64()))
+		s.Share = d.VarBytes()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		b.Beacon = append(b.Beacon, s)
+	}
+	return b, nil
+}
+
+// Expand explodes the bundle back into the individual share messages it
+// carries, in encoding order: notarization groups, finalization groups,
+// beacon shares.
+func (b *ShareBundle) Expand() []Message {
+	out := make([]Message, 0, b.Shares())
+	for i := range b.Notar {
+		g := &b.Notar[i]
+		for j, signer := range g.Signers {
+			out = append(out, &NotarizationShare{
+				Round: g.Round, Proposer: g.Proposer, BlockHash: g.BlockHash,
+				Signer: signer, Sig: g.Sigs[j],
+			})
+		}
+	}
+	for i := range b.Final {
+		g := &b.Final[i]
+		for j, signer := range g.Signers {
+			out = append(out, &FinalizationShare{
+				Round: g.Round, Proposer: g.Proposer, BlockHash: g.BlockHash,
+				Signer: signer, Sig: g.Sigs[j],
+			})
+		}
+	}
+	for _, s := range b.Beacon {
+		out = append(out, s)
+	}
+	return out
+}

@@ -205,6 +205,17 @@ func TestRefOfStability(t *testing.T) {
 	if RefOf(m1).Kind != KindNotarization {
 		t.Fatal("ref kind wrong")
 	}
+	// Certificates ref their statement, not their bytes: a different
+	// signer subset for the same statement is the same artifact, while
+	// the notarization and finalization of one statement stay distinct.
+	m4 := &Notarization{Round: 1, Proposer: 0, BlockHash: hash.SumUint64(hash.DomainBlock, 9), Agg: []byte{7, 7}}
+	if RefOf(m1) != RefOf(m4) {
+		t.Fatal("subset-variant certificates have different refs")
+	}
+	f1 := &Finalization{Round: 1, Proposer: 0, BlockHash: hash.SumUint64(hash.DomainBlock, 9), Agg: []byte{1}}
+	if RefOf(m1) == RefOf(f1) {
+		t.Fatal("notarization and finalization share a ref")
+	}
 }
 
 func TestQuickBeaconShareRoundTrip(t *testing.T) {

@@ -94,6 +94,7 @@ func (p *Pipeline) processResync(from types.PartyID, b *types.Bundle) (types.Mes
 			verdict[a.msg] = true
 			p.chainAdmit.Inc()
 			p.cacheInsert(a.msg)
+			p.markStatement(a.msg)
 			continue
 		}
 		if err := p.checkCached(a.msg); err != nil {
@@ -102,6 +103,7 @@ func (p *Pipeline) processResync(from types.PartyID, b *types.Bundle) (types.Mes
 			continue
 		}
 		verdict[a.msg] = true
+		p.markStatement(a.msg)
 		p.noteFrontier(a.round)
 		walk(a.bh)
 	}

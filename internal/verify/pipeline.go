@@ -74,7 +74,10 @@ type Options struct {
 	// CacheSize bounds the verified-digest cache (0 → 8192, negative →
 	// disabled). The cache makes re-gossiped and resync'd artifacts
 	// free: an artifact that verified once is admitted on digest match
-	// without re-running its signature checks.
+	// without re-running its signature checks. The same size (and the
+	// same negative-disables rule) governs the verified-statement cache
+	// that admits signer-subset variants of an already-verified quorum
+	// certificate (see processAggregate).
 	CacheSize int
 	// BehindWindow is how many rounds beyond the engine's own round
 	// live artifacts are admitted while the party is behind the
@@ -116,6 +119,7 @@ type Pipeline struct {
 	once     sync.Once
 
 	cache *digestCache
+	stmts *digestCache // verified aggregate statements (kind, round, proposer, blockHash)
 
 	flat   bool
 	window uint64 // behind-shedding window in rounds
@@ -172,6 +176,7 @@ func New(v pool.Verifier, opts Options) *Pipeline {
 		out:      make(chan transport.Envelope, queue),
 		done:     make(chan struct{}),
 		cache:    newDigestCache(opts.CacheSize),
+		stmts:    newDigestCache(opts.CacheSize),
 		flat:     opts.Flat,
 		window:   uint64(max(window, 0)),
 		shed:     window > 0 && !opts.Flat,
@@ -314,6 +319,32 @@ func (p *Pipeline) shedLive(from types.PartyID, m types.Message) (types.Message,
 			return b, true
 		}
 		return &types.Bundle{Messages: kept, Resync: b.Resync}, true
+	}
+	if sb, ok := m.(*types.ShareBundle); ok {
+		keep := func(groups []types.ShareGroup) []types.ShareGroup {
+			kept := make([]types.ShareGroup, 0, len(groups))
+			for i := range groups {
+				if uint64(groups[i].Round) > limit {
+					p.rejectBehind(from)
+					continue
+				}
+				kept = append(kept, groups[i])
+			}
+			return kept
+		}
+		notar, final := keep(sb.Notar), keep(sb.Final)
+		beacon := make([]*types.BeaconShare, 0, len(sb.Beacon))
+		for _, s := range sb.Beacon {
+			if uint64(s.Round) > limit {
+				p.rejectBehind(from)
+				continue
+			}
+			beacon = append(beacon, s)
+		}
+		if len(notar)+len(final)+len(beacon) == 0 {
+			return nil, false
+		}
+		return &types.ShareBundle{Notar: notar, Final: final, Beacon: beacon}, true
 	}
 	if drop(m) {
 		p.rejectBehind(from)
@@ -506,25 +537,129 @@ func (p *Pipeline) process(from types.PartyID, m types.Message) (types.Message, 
 			return nil, false
 		}
 		return &types.Bundle{Messages: kept, Resync: v.Resync}, true
-	case *types.Authenticator, *types.NotarizationShare, *types.Notarization,
-		*types.FinalizationShare, *types.Finalization:
+	case *types.ShareBundle:
+		return p.processShareBundle(from, v)
+	case *types.Authenticator, *types.NotarizationShare, *types.FinalizationShare:
 		if err := p.checkCached(m); err != nil {
 			p.reject(from, err)
 			return nil, false
 		}
-		switch t := m.(type) {
-		case *types.Notarization:
-			p.noteFrontier(t.Round)
-		case *types.Finalization:
-			p.noteFrontier(t.Round)
-		}
 		return m, true
+	case *types.Notarization, *types.Finalization:
+		return p.processAggregate(from, m)
 	default:
 		// Blocks carry no signature of their own (the authenticator
 		// does); beacon shares verify lazily in beacon.Combine; the
 		// remaining kinds (status, gossip, RBC) are control traffic for
 		// layers with their own validation.
 		return m, true
+	}
+}
+
+// processAggregate admits one quorum certificate. Statement-level
+// admission extends the chain-aware argument of processResync to live
+// traffic: with eager relay-side aggregation (internal/gossip),
+// different relays legitimately combine different signer subsets over
+// the same statement, producing byte-distinct certificates the digest
+// cache cannot recognise. Once any certificate for a statement has
+// fully verified, a later subset-variant is admitted on statement
+// identity alone (icc_verify_chain_admitted_total) — the claim "this
+// block is notarized/finalized" is already proven, and re-checking a
+// different n−t signatures proves nothing new. As with resync chain
+// admission, the admitted bytes themselves are not attested: a party
+// re-serving spliced garbage Agg bytes is rejected by its receivers,
+// which full-verify. DESIGN.md §11 and §14 carry the argument.
+func (p *Pipeline) processAggregate(from types.PartyID, m types.Message) (types.Message, bool) {
+	round := types.Round(roundOf(m))
+	if stmt, ok := statementOf(m); ok && p.stmts != nil && p.stmts.contains(stmt) {
+		p.chainAdmit.Inc()
+		p.cacheInsert(m)
+		p.noteFrontier(round)
+		return m, true
+	}
+	if err := p.checkCached(m); err != nil {
+		p.reject(from, err)
+		return nil, false
+	}
+	p.markStatement(m)
+	p.noteFrontier(round)
+	return m, true
+}
+
+// processShareBundle verifies the individual shares inside a gossip
+// share batch and rebuilds the bundle from the survivors. The group
+// framing is transport-only and carries no signature of its own, so
+// each (signer, sig) pair is checked as the share message it expands
+// to; beacon shares pass through unverified per the package policy
+// (beacon.Combine verifies lazily at threshold). Verified shares enter
+// the digest cache under their individual encoding, so the same share
+// re-arriving bare or differently grouped is admitted for free.
+func (p *Pipeline) processShareBundle(from types.PartyID, b *types.ShareBundle) (types.Message, bool) {
+	notar := p.filterShareGroups(from, b.Notar, false)
+	final := p.filterShareGroups(from, b.Final, true)
+	if len(notar)+len(final)+len(b.Beacon) == 0 {
+		return nil, false
+	}
+	return &types.ShareBundle{Notar: notar, Final: final, Beacon: b.Beacon}, true
+}
+
+func (p *Pipeline) filterShareGroups(from types.PartyID, groups []types.ShareGroup, final bool) []types.ShareGroup {
+	kept := make([]types.ShareGroup, 0, len(groups))
+	for i := range groups {
+		g := groups[i]
+		signers := make([]types.PartyID, 0, len(g.Signers))
+		sigs := make([][]byte, 0, len(g.Sigs))
+		for j, signer := range g.Signers {
+			var m types.Message
+			if final {
+				m = &types.FinalizationShare{Round: g.Round, Proposer: g.Proposer,
+					BlockHash: g.BlockHash, Signer: signer, Sig: g.Sigs[j]}
+			} else {
+				m = &types.NotarizationShare{Round: g.Round, Proposer: g.Proposer,
+					BlockHash: g.BlockHash, Signer: signer, Sig: g.Sigs[j]}
+			}
+			if err := p.checkCached(m); err != nil {
+				p.reject(from, err)
+				continue
+			}
+			signers = append(signers, signer)
+			sigs = append(sigs, g.Sigs[j])
+		}
+		if len(signers) == 0 {
+			continue
+		}
+		g.Signers, g.Sigs = signers, sigs
+		kept = append(kept, g)
+	}
+	return kept
+}
+
+// statementOf returns the digest identifying the statement a quorum
+// certificate attests — (kind, round, proposer, blockHash) — which is
+// invariant across the signer subsets different relays may aggregate.
+func statementOf(m types.Message) (hash.Digest, bool) {
+	switch v := m.(type) {
+	case *types.Notarization:
+		return statementKey(types.KindNotarization, v.Round, v.Proposer, v.BlockHash), true
+	case *types.Finalization:
+		return statementKey(types.KindFinalization, v.Round, v.Proposer, v.BlockHash), true
+	}
+	return hash.Digest{}, false
+}
+
+func statementKey(k types.Kind, round types.Round, proposer types.PartyID, bh hash.Digest) hash.Digest {
+	b := append([]byte{byte(k)}, types.SigningBytes(round, proposer, bh)...)
+	return hash.Sum(hash.DomainPayload, b)
+}
+
+// markStatement records an aggregate's statement as verified, enabling
+// statement-level admission of signer-subset variants.
+func (p *Pipeline) markStatement(m types.Message) {
+	if p.stmts == nil {
+		return
+	}
+	if stmt, ok := statementOf(m); ok {
+		p.stmts.insert(stmt)
 	}
 }
 

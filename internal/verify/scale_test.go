@@ -1,0 +1,220 @@
+package verify
+
+// Tests for the scale-out admission paths: ShareBundle verification and
+// statement-level admission of relay-built aggregate variants.
+
+import (
+	"testing"
+	"time"
+
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/multisig"
+	"icc/internal/obs"
+	"icc/internal/pool"
+	"icc/internal/transport"
+	"icc/internal/types"
+)
+
+func (f *fixture) fshare(round types.Round, proposer, signer types.PartyID, blockHash hash.Digest) *types.FinalizationShare {
+	msg := types.SigningBytes(round, proposer, blockHash)
+	s := f.privs[signer].Final.Sign(types.DomainFinalization, msg)
+	return &types.FinalizationShare{Round: round, Proposer: proposer, BlockHash: blockHash,
+		Signer: signer, Sig: s.Signature}
+}
+
+// notarizationBy builds a notarization over exactly the given signer
+// subset, so two calls with different subsets yield byte-distinct
+// certificates for the same statement.
+func (f *fixture) notarizationBy(t testing.TB, round types.Round, proposer types.PartyID, bh hash.Digest, signers []int) *types.Notarization {
+	t.Helper()
+	msg := types.SigningBytes(round, proposer, bh)
+	shares := make([]*multisig.Share, 0, len(signers))
+	for _, i := range signers {
+		shares = append(shares, f.privs[i].Notary.Sign(types.DomainNotarization, msg))
+	}
+	agg, err := f.pub.Notary.Combine(types.DomainNotarization, msg, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &types.Notarization{Round: round, Proposer: proposer, BlockHash: bh, Agg: agg.Encode()}
+}
+
+func TestPipelineShareBundleFiltering(t *testing.T) {
+	f := newFixture(t, 4)
+	reg := obs.NewRegistry()
+	p := New(pool.NewVerifier(f.pub, pool.VerifyFull), Options{Workers: 1, Registry: reg})
+	defer p.Close()
+
+	bh := hash.SumUint64(hash.DomainBlock, 1)
+	g1, g3 := f.nshare(1, 0, 1, bh), f.nshare(1, 0, 3, bh)
+	fs := f.fshare(1, 0, 2, bh)
+	b := &types.ShareBundle{
+		Notar: []types.ShareGroup{{
+			Round: 1, Proposer: 0, BlockHash: bh,
+			Signers: []types.PartyID{g1.Signer, 2, g3.Signer},
+			Sigs:    [][]byte{g1.Sig, make([]byte, 64), g3.Sig}, // middle sig forged
+		}},
+		Final: []types.ShareGroup{{
+			Round: 1, Proposer: 0, BlockHash: bh,
+			Signers: []types.PartyID{fs.Signer},
+			Sigs:    [][]byte{fs.Sig},
+		}},
+		Beacon: []*types.BeaconShare{{Round: 1, Signer: 0, Share: []byte{1, 2, 3}}},
+	}
+	p.Submit(transport.Envelope{From: 2, Msg: b})
+	got := drain(t, p, 1, 5*time.Second)
+	out, ok := got[0].Msg.(*types.ShareBundle)
+	if !ok {
+		t.Fatalf("delivered %#v, want ShareBundle", got[0].Msg)
+	}
+	if len(out.Notar) != 1 || len(out.Notar[0].Signers) != 2 {
+		t.Fatalf("notar group not filtered to the two valid shares: %#v", out.Notar)
+	}
+	if out.Notar[0].Signers[0] != 1 || out.Notar[0].Signers[1] != 3 {
+		t.Fatalf("wrong surviving signers %v", out.Notar[0].Signers)
+	}
+	if len(out.Final) != 1 || len(out.Beacon) != 1 {
+		t.Fatalf("valid final/beacon sections dropped: %#v", out)
+	}
+	snap := reg.Snapshot()
+	if snap[`icc_verify_rejects_total{reason="bad_share"}`] != 1 {
+		t.Fatalf("rejects = %v, want 1", snap[`icc_verify_rejects_total{reason="bad_share"}`])
+	}
+
+	// A bundle of nothing but forged shares is dropped whole.
+	p.Submit(transport.Envelope{From: 2, Msg: &types.ShareBundle{
+		Notar: []types.ShareGroup{{Round: 2, Proposer: 0, BlockHash: bh,
+			Signers: []types.PartyID{1}, Sigs: [][]byte{make([]byte, 64)}}},
+	}})
+	select {
+	case env := <-p.Out():
+		t.Fatalf("all-forged bundle delivered: %#v", env.Msg)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// A bundled share that verified enters the digest cache under its
+	// individual encoding: the same share re-arriving bare is a hit.
+	p.Submit(transport.Envelope{From: 3, Msg: g1})
+	drain(t, p, 1, 5*time.Second)
+	if reg.Snapshot()["icc_verify_cache_hits_total"] < 1 {
+		t.Fatal("bare redelivery of a bundled share missed the digest cache")
+	}
+}
+
+// TestStatementLevelAdmission pins the live extension of chain-aware
+// admission: once one certificate for a statement fully verifies, a
+// byte-distinct certificate over a different signer subset of the same
+// statement is admitted without re-verification.
+func TestStatementLevelAdmission(t *testing.T) {
+	f := newFixture(t, 4)
+	reg := obs.NewRegistry()
+	p := New(pool.NewVerifier(f.pub, pool.VerifyFull), Options{Workers: 1, Registry: reg})
+	defer p.Close()
+
+	bh := hash.SumUint64(hash.DomainBlock, 7)
+	certA := f.notarizationBy(t, 7, 0, bh, []int{0, 1, 2})
+	certB := f.notarizationBy(t, 7, 0, bh, []int{1, 2, 3})
+
+	p.Submit(transport.Envelope{From: 1, Msg: certA})
+	drain(t, p, 1, 5*time.Second)
+	snap := reg.Snapshot()
+	if snap["icc_verify_verified_total"] != 1 || snap["icc_verify_chain_admitted_total"] != 0 {
+		t.Fatalf("after certA: verified=%v chainAdmit=%v", snap["icc_verify_verified_total"], snap["icc_verify_chain_admitted_total"])
+	}
+
+	// Different signer subset, same statement: admitted on statement
+	// identity, no signature work.
+	p.Submit(transport.Envelope{From: 2, Msg: certB})
+	got := drain(t, p, 1, 5*time.Second)
+	if nz, ok := got[0].Msg.(*types.Notarization); !ok || nz.Round != 7 {
+		t.Fatalf("delivered %#v", got[0].Msg)
+	}
+	snap = reg.Snapshot()
+	if snap["icc_verify_chain_admitted_total"] != 1 {
+		t.Fatalf("chainAdmit = %v, want 1", snap["icc_verify_chain_admitted_total"])
+	}
+	if snap["icc_verify_verified_total"] != 1 {
+		t.Fatalf("verified = %v, want still 1 (no re-verification)", snap["icc_verify_verified_total"])
+	}
+
+	// A byte-identical redelivery of certB takes the statement path
+	// again — still zero signature work.
+	p.Submit(transport.Envelope{From: 3, Msg: certB})
+	drain(t, p, 1, 5*time.Second)
+	snap = reg.Snapshot()
+	if snap["icc_verify_chain_admitted_total"] != 2 || snap["icc_verify_verified_total"] != 1 {
+		t.Fatalf("redelivery: chainAdmit=%v verified=%v, want 2/1",
+			snap["icc_verify_chain_admitted_total"], snap["icc_verify_verified_total"])
+	}
+
+	// A certificate for a DIFFERENT statement (other block hash) gets no
+	// free pass: forged bytes are rejected in full.
+	other := hash.SumUint64(hash.DomainBlock, 8)
+	forged := &types.Notarization{Round: 7, Proposer: 0, BlockHash: other, Agg: certA.Agg}
+	p.Submit(transport.Envelope{From: 2, Msg: forged})
+	deadline := time.After(2 * time.Second)
+	for {
+		s := reg.Snapshot()
+		if s[`icc_verify_rejects_total{reason="bad_aggregate"}`] == 1 {
+			break
+		}
+		select {
+		case env := <-p.Out():
+			t.Fatalf("forged-statement certificate delivered: %#v", env.Msg)
+		case <-deadline:
+			t.Fatalf("forged certificate not rejected: %v", reg.Snapshot())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Finalizations key a distinct statement space: a finalization for
+	// the notarized statement still verifies in full (here: rejected,
+	// the Agg bytes sign the notarization domain).
+	p.Submit(transport.Envelope{From: 2, Msg: &types.Finalization{Round: 7, Proposer: 0, BlockHash: bh, Agg: certA.Agg}})
+	deadline = time.After(2 * time.Second)
+	for reg.Snapshot()[`icc_verify_rejects_total{reason="bad_aggregate"}`] != 2 {
+		select {
+		case env := <-p.Out():
+			t.Fatalf("cross-kind certificate admitted: %#v", env.Msg)
+		case <-deadline:
+			t.Fatalf("cross-kind certificate not rejected: %v", reg.Snapshot())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestShareBundleShedWhileBehind: a lagging party sheds bundled shares
+// beyond the admission window exactly like bare ones.
+func TestShareBundleShedWhileBehind(t *testing.T) {
+	f := newFixture(t, 4)
+	reg := obs.NewRegistry()
+	p := New(pool.NewVerifier(f.pub, pool.VerifyFull), Options{Workers: 1, Registry: reg})
+	defer p.Close()
+
+	// Drive the frontier far ahead of the (round-0) engine.
+	bh := hash.SumUint64(hash.DomainBlock, 200)
+	p.Submit(transport.Envelope{From: 1, Msg: f.notarizationBy(t, 200, 0, bh, []int{0, 1, 2})})
+	drain(t, p, 1, 5*time.Second)
+	if p.Frontier() != 200 {
+		t.Fatalf("frontier = %d", p.Frontier())
+	}
+
+	tip := f.nshare(200, 0, 1, bh)
+	b := &types.ShareBundle{
+		Notar: []types.ShareGroup{{Round: 200, Proposer: 0, BlockHash: bh,
+			Signers: []types.PartyID{tip.Signer}, Sigs: [][]byte{tip.Sig}}},
+		Beacon: []*types.BeaconShare{{Round: 10, Signer: 2, Share: []byte{9}}},
+	}
+	p.Submit(transport.Envelope{From: 1, Msg: b})
+	got := drain(t, p, 1, 5*time.Second)
+	out, ok := got[0].Msg.(*types.ShareBundle)
+	if !ok {
+		t.Fatalf("delivered %#v", got[0].Msg)
+	}
+	if len(out.Notar) != 0 || len(out.Beacon) != 1 {
+		t.Fatalf("tip share not shed / in-window beacon dropped: %#v", out)
+	}
+	if reg.Snapshot()[`icc_verify_rejects_total{reason="behind"}`] != 1 {
+		t.Fatalf("behind rejects = %v, want 1", reg.Snapshot()[`icc_verify_rejects_total{reason="behind"}`])
+	}
+}
