@@ -16,12 +16,21 @@ vet:
 
 # Race-test the concurrency-heavy layers (real goroutines + sockets).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/gossip/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/... ./internal/gateway/... ./internal/statemachine/...
+	$(GO) test -race ./internal/obs/... ./internal/transport/... ./internal/runtime/... ./internal/simnet/... ./internal/gossip/... ./internal/pool/... ./internal/verify/... ./internal/backfill/... ./internal/beacon/... ./internal/wal/... ./internal/checkpoint/... ./internal/gateway/... ./internal/statemachine/... ./internal/crypto/aggsig/... ./internal/crypto/bls/...
 
 # Regenerate the evaluation tables and record a machine-readable
-# BENCH_<timestamp>.json snapshot in the repo root.
+# BENCH_<timestamp>.json snapshot in the repo root. The first leg prints
+# the certificate-scheme micro-benchmarks (multisig vs BLS
+# sign/combine/verify at quorum 9 of 13); 10 iterations keeps the
+# ~1 s/op BLS pairing verify affordable.
 bench:
+	$(GO) test -run '^$$' -bench 'Sign13|Combine13|VerifyAggregate13' -benchtime 10x ./internal/crypto/aggsig ./internal/crypto/multisig
 	$(GO) run ./cmd/iccbench -json
+
+# The certificate-scheme chart alone (E14): bytes/party, commits/s, and
+# cert wire size for multisig vs BLS at n ∈ {16, 31, 64, 100}.
+bench-certscheme:
+	$(GO) run ./cmd/iccbench -exp certscheme -json
 
 # The scale-out chart alone (E13): commits/s and bytes/party for
 # n ∈ {16, 31, 64, 100}, with the relay-aggregation A/B in the json.

@@ -41,6 +41,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"durability":     experiments.Durability,
 	"gateway":        experiments.Gateway,
 	"scaleout":       experiments.Scaleout,
+	"certscheme":     experiments.CertScheme,
 }
 
 // benchSummary is the machine-readable run record written by -json, so

@@ -12,25 +12,31 @@ import (
 	"os"
 	"path/filepath"
 
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/keys"
 )
 
 func main() {
 	n := flag.Int("n", 4, "number of parties")
 	dir := flag.String("dir", "icc-keys", "output directory")
+	scheme := flag.String("cert-scheme", "multisig", "certificate aggregate-signature scheme: multisig or bls")
 	flag.Parse()
 
-	if err := run(*n, *dir); err != nil {
+	if err := run(*n, *dir, *scheme); err != nil {
 		fmt.Fprintf(os.Stderr, "icckeygen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, dir string) error {
+func run(n int, dir, scheme string) error {
+	id, err := aggsig.ParseSchemeID(scheme)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("creating %s: %w", dir, err)
 	}
-	pub, privs, err := keys.Deal(rand.Reader, n)
+	pub, privs, err := keys.DealScheme(rand.Reader, n, id)
 	if err != nil {
 		return fmt.Errorf("dealing keys: %w", err)
 	}
@@ -43,7 +49,7 @@ func run(n int, dir string) error {
 			return err
 		}
 	}
-	fmt.Printf("wrote key material for %d parties (t=%d tolerated faults) to %s/\n", n, pub.T, dir)
+	fmt.Printf("wrote %s key material for %d parties (t=%d tolerated faults) to %s/\n", pub.CertScheme(), n, pub.T, dir)
 	return nil
 }
 

@@ -31,8 +31,9 @@ import (
 	"icc/internal/checkpoint"
 	"icc/internal/clock"
 	"icc/internal/core"
-	"icc/internal/gateway"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/keys"
+	"icc/internal/gateway"
 	"icc/internal/metrics"
 	"icc/internal/obs"
 	"icc/internal/pool"
@@ -46,13 +47,14 @@ import (
 
 func main() {
 	var (
-		keyDir  = flag.String("keys", "icc-keys", "key directory from icckeygen")
-		self    = flag.Int("self", -1, "this node's party index")
-		peers   = flag.String("peers", "", "comma-separated host:port list, one per party, in index order")
-		bound   = flag.Duration("bound", 200*time.Millisecond, "partial-synchrony bound Δbnd")
-		epsilon = flag.Duration("epsilon", 500*time.Millisecond, "ε governor (block-rate limiter)")
-		load    = flag.Int("load", 10, "synthetic commands submitted per second (0 = none)")
-		quiet   = flag.Bool("quiet", false, "suppress per-block output")
+		keyDir     = flag.String("keys", "icc-keys", "key directory from icckeygen")
+		certScheme = flag.String("cert-scheme", "", "expected certificate scheme of the key material (multisig or bls); empty accepts whatever the key files declare")
+		self       = flag.Int("self", -1, "this node's party index")
+		peers      = flag.String("peers", "", "comma-separated host:port list, one per party, in index order")
+		bound      = flag.Duration("bound", 200*time.Millisecond, "partial-synchrony bound Δbnd")
+		epsilon    = flag.Duration("epsilon", 500*time.Millisecond, "ε governor (block-rate limiter)")
+		load       = flag.Int("load", 10, "synthetic commands submitted per second (0 = none)")
+		quiet      = flag.Bool("quiet", false, "suppress per-block output")
 
 		// Verification pipeline: inbound signatures are checked on a
 		// worker pool so the sequential engine handles pre-verified input.
@@ -93,6 +95,7 @@ func main() {
 	flag.Parse()
 	cfg := nodeConfig{
 		keyDir:        *keyDir,
+		certScheme:    *certScheme,
 		self:          *self,
 		peers:         *peers,
 		bound:         *bound,
@@ -128,6 +131,7 @@ func main() {
 // nodeConfig carries the parsed command line.
 type nodeConfig struct {
 	keyDir        string
+	certScheme    string
 	self          int
 	peers         string
 	bound         time.Duration
@@ -165,6 +169,15 @@ func run(cfg nodeConfig) error {
 	priv := &keys.Private{}
 	if err := readJSON(filepath.Join(cfg.keyDir, fmt.Sprintf("party%d.json", self)), priv); err != nil {
 		return err
+	}
+	if cfg.certScheme != "" {
+		want, err := aggsig.ParseSchemeID(cfg.certScheme)
+		if err != nil {
+			return err
+		}
+		if got := pub.CertScheme(); got != want {
+			return fmt.Errorf("-cert-scheme %s, but key material in %s was dealt for %s", want, cfg.keyDir, got)
+		}
 	}
 	addrs := strings.Split(cfg.peers, ",")
 	if len(addrs) != pub.N {

@@ -33,6 +33,7 @@ import (
 	"icc/internal/checkpoint"
 	"icc/internal/clock"
 	"icc/internal/core"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/keys"
 	"icc/internal/engine"
 	"icc/internal/gateway"
@@ -200,6 +201,13 @@ type Options struct {
 	// command backlog; Client.Submit returns ErrBacklogFull at the
 	// bound (0 = gateway.DefaultMaxBacklog; negative = unbounded).
 	GatewayBacklog int
+	// CertScheme names the aggregate-signature scheme for the cluster's
+	// notarization/finalization/checkpoint certificates: "multisig"
+	// (default — ed25519 multi-signatures, certificates grow ~66 B per
+	// signer) or "bls" (BLS12-381 aggregates, constant-size certificates;
+	// the from-scratch pairing is slow, so suit it to demonstrations and
+	// small clusters). See DESIGN.md §15.
+	CertScheme string
 }
 
 // Option mutates Options.
@@ -291,6 +299,10 @@ func WithPruneDepth(n uint64) Option { return func(o *Options) { o.PruneDepth = 
 // (0 = default 4096; negative = unbounded).
 func WithGatewayBacklog(n int) Option { return func(o *Options) { o.GatewayBacklog = n } }
 
+// WithCertScheme selects the certificate aggregate-signature scheme:
+// "multisig" (default) or "bls".
+func WithCertScheme(scheme string) Option { return func(o *Options) { o.CertScheme = scheme } }
+
 // validate rejects nonsensical option values up front, so misconfigured
 // clusters fail loudly at construction instead of hanging at runtime.
 func (o Options) validate(n int) error {
@@ -319,6 +331,9 @@ func (o Options) validate(n int) error {
 	}
 	if o.CheckpointInterval > 0 && o.WALDir == "" {
 		return fmt.Errorf("icc: CheckpointInterval requires WALDir")
+	}
+	if _, err := aggsig.ParseSchemeID(o.CertScheme); err != nil {
+		return fmt.Errorf("icc: %w", err)
 	}
 	for p := range o.Behaviors {
 		if p < 0 || p >= n {
@@ -379,7 +394,8 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 	if o.StallAfter == 0 {
 		o.StallAfter = 30 * time.Second
 	}
-	pub, privs, err := keys.Deal(rand.Reader, n)
+	scheme, _ := aggsig.ParseSchemeID(o.CertScheme) // validated above
+	pub, privs, err := keys.DealScheme(rand.Reader, n, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("icc: dealing keys: %w", err)
 	}
@@ -529,13 +545,16 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 			// hold a quorum of shares. With the verify pipeline in front
 			// (the default) every share reaching the overlay has already
 			// been signature-checked, so relays may combine without
-			// re-verifying (TrustShares).
+			// re-verifying (TrustShares). The batch window is adaptive:
+			// an isolated share relays immediately, so idle parties pay
+			// no flush latency and only bursts batch (DESIGN.md §15).
 			g, err := gossip.New(gossip.Config{
 				Self:             types.PartyID(i),
 				N:                n,
 				Fanout:           fanout,
 				Seed:             seed,
 				ShareBatchWindow: 2 * time.Millisecond,
+				AdaptiveBatch:    true,
 				Aggregate:        true,
 				TrustShares:      o.VerifyWorkers >= 0,
 				Keys:             pub,

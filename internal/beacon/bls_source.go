@@ -235,4 +235,54 @@ func (b *BLS) InstallDigest(k types.Round, d hash.Digest) {
 	}
 }
 
-var _ Source = (*BLS)(nil)
+// EncodeOutput implements OutputSource: the combined unique signature
+// σ_k as an uncompressed G1 point. Every honest party recovers the
+// identical point, so outputs deduplicate like any other artifact.
+func (b *BLS) EncodeOutput(k types.Round) ([]byte, bool) {
+	sig, ok := b.values[k]
+	if !ok {
+		return nil, false
+	}
+	return sig.Point().Encode(), true
+}
+
+// VerifyOutput implements OutputSource: one pairing check of σ_k
+// against the global key — the third-party-verifiable property that
+// justifies relaying outputs instead of shares for this backend.
+func (b *BLS) VerifyOutput(k types.Round, out []byte) error {
+	msg, ok := b.message(k)
+	if !ok {
+		return fmt.Errorf("beacon: R_%d not yet known, cannot verify R_%d", k-1, k)
+	}
+	pt, err := bls.DecodeG1(out)
+	if err != nil {
+		return fmt.Errorf("beacon: malformed output: %w", err)
+	}
+	return b.pub.VerifyCombined(msg, bls.SignatureFromPoint(pt))
+}
+
+// InstallOutput implements OutputSource.
+func (b *BLS) InstallOutput(k types.Round, out []byte) error {
+	if k == 0 {
+		return fmt.Errorf("beacon: output for genesis round")
+	}
+	pt, err := bls.DecodeG1(out)
+	if err != nil {
+		return fmt.Errorf("beacon: malformed output: %w", err)
+	}
+	if k < b.prunedBefore {
+		return nil
+	}
+	if _, ok := b.digests[k]; ok {
+		return nil
+	}
+	sig := bls.SignatureFromPoint(pt)
+	b.values[k] = sig
+	b.digests[k] = hash.Sum(hash.DomainBeacon, sig.Point().Encode())
+	return nil
+}
+
+var (
+	_ Source       = (*BLS)(nil)
+	_ OutputSource = (*BLS)(nil)
+)

@@ -53,6 +53,35 @@ type Source interface {
 
 var _ Source = (*Beacon)(nil)
 
+// OutputSource is an optional capability of a beacon Source: a backend
+// whose recovered round value is third-party verifiable can export it
+// as one compact wire blob, verify a blob received from the network
+// against the beacon's global key, and install a verified blob directly
+// — making R_k known without holding a single share. The gossip layer
+// uses it to relay one BeaconOutput per round instead of t+1 shares,
+// which is what keeps per-party beacon traffic constant as n grows
+// (paper §1.1's sublinear-communication argument).
+//
+// The default DLEQ backend (*Beacon) deliberately does NOT implement
+// this interface: its combined signature is checked share-by-share
+// against per-party DLEQ proofs, so a third party holding only the
+// combined value has nothing to verify it against. *Simulated (hash
+// chain, recomputable by anyone) and *BLS (unique signature verified
+// with one pairing against the global key) do.
+type OutputSource interface {
+	Source
+	// EncodeOutput returns the round-k output in wire form, once known.
+	EncodeOutput(k types.Round) ([]byte, bool)
+	// VerifyOutput checks an encoded round-k output against the global
+	// key. It fails when R_{k−1} is not yet known, since the signed
+	// message chains to it; callers should retry after catching up.
+	VerifyOutput(k types.Round, out []byte) error
+	// InstallOutput records a round-k output, making R_k known. It
+	// performs structural validation only — callers verify first (or
+	// consciously skip verification under a trusted-input policy).
+	InstallOutput(k types.Round, out []byte) error
+}
+
 // Simulated is a Source that derives R_k = H(k, R_{k−1}) directly and
 // carries placeholder share bytes sized like real threshold shares. It
 // keeps the protocol's observable behaviour — parties still wait for t+1
@@ -277,4 +306,67 @@ func (s *Simulated) InstallDigest(k types.Round, d hash.Digest) {
 	}
 }
 
-var _ Source = (*Simulated)(nil)
+// simOutput computes the round-k value from its predecessor — the same
+// derivation Reveal uses.
+func simOutput(k types.Round, prev hash.Digest) hash.Digest {
+	d := hash.SumUint64(hash.DomainBeacon, uint64(k))
+	return hash.Sum(hash.DomainBeacon, d[:], prev[:])
+}
+
+// EncodeOutput implements OutputSource: the simulated round value is its
+// digest (anyone can recompute it — the backend is not secure, it only
+// preserves message patterns).
+func (s *Simulated) EncodeOutput(k types.Round) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.digests[k]
+	if !ok || k == 0 {
+		return nil, false
+	}
+	return d[:], true
+}
+
+// VerifyOutput implements OutputSource by recomputing the hash-chain
+// link from R_{k−1}.
+func (s *Simulated) VerifyOutput(k types.Round, out []byte) error {
+	if k == 0 {
+		return fmt.Errorf("beacon: output for genesis round")
+	}
+	if len(out) != hash.Size {
+		return fmt.Errorf("beacon: malformed output (%d bytes)", len(out))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, ok := s.digests[k-1]
+	if !ok {
+		return fmt.Errorf("beacon: R_%d not yet known, cannot verify R_%d", k-1, k)
+	}
+	if want := simOutput(k, prev); string(out) != string(want[:]) {
+		return fmt.Errorf("beacon: round %d output mismatch", k)
+	}
+	return nil
+}
+
+// InstallOutput implements OutputSource.
+func (s *Simulated) InstallOutput(k types.Round, out []byte) error {
+	if k == 0 {
+		return fmt.Errorf("beacon: output for genesis round")
+	}
+	if len(out) != hash.Size {
+		return fmt.Errorf("beacon: malformed output (%d bytes)", len(out))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k < s.minRound {
+		return nil
+	}
+	if _, ok := s.digests[k]; !ok {
+		s.digests[k] = hash.Digest(out)
+	}
+	return nil
+}
+
+var (
+	_ Source       = (*Simulated)(nil)
+	_ OutputSource = (*Simulated)(nil)
+)

@@ -24,9 +24,9 @@ import (
 	"errors"
 	"fmt"
 
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
-	"icc/internal/crypto/multisig"
 	"icc/internal/types"
 )
 
@@ -63,7 +63,7 @@ type Checkpoint struct {
 	// State is the statemachine snapshot after applying Block.
 	State []byte
 
-	// Agg is the encoded multisig.Aggregate of ≥ t+1 CheckpointShare
+	// Agg is the encoded aggsig.Certificate of ≥ t+1 CheckpointShare
 	// signatures over CheckpointSigningBytes under DomainCheckpoint.
 	Agg []byte
 }
@@ -78,13 +78,10 @@ var ErrInvalid = errors.New("checkpoint: invalid")
 
 // PublicInfo derives the (t, t+1, n) verification material for
 // checkpoint certificates from the cluster's key material: the S_final
-// keys at the t+1 threshold, used under DomainCheckpoint.
-func PublicInfo(pub *keys.Public) *multisig.PublicInfo {
-	return &multisig.PublicInfo{
-		N:         pub.N,
-		Threshold: types.CheckpointQuorum(pub.N),
-		Keys:      pub.Final.Keys,
-	}
+// keys at the t+1 quorum, used under DomainCheckpoint. Works for any
+// certificate scheme via aggsig.Scheme.WithQuorum.
+func PublicInfo(pub *keys.Public) aggsig.Scheme {
+	return pub.Final.WithQuorum(types.CheckpointQuorum(pub.N))
 }
 
 // Verify checks everything a receiver must not take on trust:
@@ -116,11 +113,12 @@ func Verify(pub *keys.Public, c *Checkpoint) error {
 	if StateDigest(c.State) != c.StateHash {
 		return fmt.Errorf("%w: state hash mismatch", ErrInvalid)
 	}
-	agg, err := multisig.DecodeAggregate(c.Agg)
+	ckptScheme := PublicInfo(pub)
+	agg, err := ckptScheme.Decode(c.Agg)
 	if err != nil {
 		return fmt.Errorf("%w: certificate: %v", ErrInvalid, err)
 	}
-	if err := PublicInfo(pub).Verify(types.DomainCheckpoint, c.SigningBytes(), agg); err != nil {
+	if err := ckptScheme.Verify(types.DomainCheckpoint, c.SigningBytes(), agg); err != nil {
 		return fmt.Errorf("%w: certificate: %v", ErrInvalid, err)
 	}
 	nz := c.Notarization
@@ -130,7 +128,7 @@ func Verify(pub *keys.Public, c *Checkpoint) error {
 	if nz.Round != c.Round || nz.BlockHash != c.BlockHash || nz.Proposer != c.Block.Proposer {
 		return fmt.Errorf("%w: notarization binds a different block", ErrInvalid)
 	}
-	nzAgg, err := multisig.DecodeAggregate(nz.Agg)
+	nzAgg, err := pub.Notary.Decode(nz.Agg)
 	if err != nil {
 		return fmt.Errorf("%w: notarization: %v", ErrInvalid, err)
 	}
@@ -142,7 +140,7 @@ func Verify(pub *keys.Public, c *Checkpoint) error {
 		if fz.Round != c.Round || fz.BlockHash != c.BlockHash || fz.Proposer != c.Block.Proposer {
 			return fmt.Errorf("%w: finalization binds a different block", ErrInvalid)
 		}
-		fzAgg, err := multisig.DecodeAggregate(fz.Agg)
+		fzAgg, err := pub.Final.Decode(fz.Agg)
 		if err != nil {
 			return fmt.Errorf("%w: finalization: %v", ErrInvalid, err)
 		}

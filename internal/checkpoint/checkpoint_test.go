@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"testing"
 
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
 	"icc/internal/crypto/multisig"
@@ -15,7 +16,12 @@ import (
 // t+1 checkpoint certificate.
 func buildCertified(t *testing.T, n int) (*keys.Public, []keys.Private, *Checkpoint) {
 	t.Helper()
-	pub, privs, err := keys.Deal(rand.Reader, n)
+	return buildCertifiedScheme(t, n, aggsig.SchemeMultisig)
+}
+
+func buildCertifiedScheme(t *testing.T, n int, scheme aggsig.SchemeID) (*keys.Public, []keys.Private, *Checkpoint) {
+	t.Helper()
+	pub, privs, err := keys.DealScheme(rand.Reader, n, scheme)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,6 +92,30 @@ func TestEncodeDecodeVerify(t *testing.T) {
 	}
 	if c2.Finalization == nil {
 		t.Fatal("finalization lost in round trip")
+	}
+}
+
+func TestEncodeDecodeVerifyBLS(t *testing.T) {
+	// Checkpoint certificates under the BLS scheme: the t+1 sub-quorum
+	// view (WithQuorum) must deal, combine, wire-encode, and verify the
+	// same way the default multisig instance does. One full Verify here
+	// costs three pairing checks — kept to a single test case.
+	pub, _, c := buildCertifiedScheme(t, 4, aggsig.SchemeBLS)
+	if err := Verify(pub, c); err != nil {
+		t.Fatalf("valid BLS checkpoint rejected: %v", err)
+	}
+	c2, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := Verify(pub, c2); err != nil {
+		t.Fatalf("decoded BLS checkpoint rejected: %v", err)
+	}
+	// A multisig-framed aggregate in a BLS cluster must be rejected as a
+	// bad aggregate, not crash the decoder.
+	c2.Agg = append([]byte{byte(aggsig.SchemeMultisig)}, c2.Agg[1:]...)
+	if err := Verify(pub, c2); err == nil {
+		t.Fatal("cross-scheme checkpoint certificate accepted")
 	}
 }
 

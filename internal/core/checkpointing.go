@@ -5,7 +5,7 @@ import (
 
 	"icc/internal/checkpoint"
 	"icc/internal/crypto"
-	"icc/internal/crypto/multisig"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/engine"
 	"icc/internal/types"
 )
@@ -33,7 +33,7 @@ type pendingCheckpoint struct {
 	commit *types.CheckpointShare
 	state  []byte
 	block  *types.Block
-	shares map[types.PartyID]*multisig.Share
+	shares map[types.PartyID]*aggsig.Share
 	done   bool
 }
 
@@ -71,7 +71,7 @@ func (e *Engine) maybeCheckpoint(b *types.Block, now time.Duration) {
 		commit: cs,
 		state:  state,
 		block:  b,
-		shares: map[types.PartyID]*multisig.Share{e.cfg.Self: share},
+		shares: map[types.PartyID]*aggsig.Share{e.cfg.Self: share},
 	}
 	e.ckpts[b.Round] = p
 	e.gcPendingCheckpoints(b.Round)
@@ -120,7 +120,7 @@ func (e *Engine) handleCheckpointShare(from types.PartyID, cs *types.CheckpointS
 	if _, dup := p.shares[cs.Signer]; dup {
 		return
 	}
-	sh := &multisig.Share{Signer: int(cs.Signer), Signature: cs.Sig}
+	sh := &aggsig.Share{Signer: int(cs.Signer), Signature: cs.Sig}
 	msg := types.CheckpointSigningBytes(p.commit.Round, p.commit.BlockHash, p.commit.StateHash, p.commit.BeaconDigest)
 	if err := e.ckptPub.VerifyShare(types.DomainCheckpoint, msg, sh); err != nil {
 		e.reject(from, err)
@@ -142,7 +142,7 @@ func (e *Engine) tryAssembleCheckpoint(k types.Round, now time.Duration) {
 	if nz == nil {
 		return // pruned already? cannot happen while the boundary is this fresh
 	}
-	shares := make([]*multisig.Share, 0, len(p.shares))
+	shares := make([]*aggsig.Share, 0, len(p.shares))
 	for pid := 0; pid < e.cfg.Keys.N; pid++ {
 		if s, ok := p.shares[types.PartyID(pid)]; ok {
 			shares = append(shares, s)

@@ -6,8 +6,8 @@ import (
 
 	"icc/internal/checkpoint"
 	"icc/internal/crypto"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
-	"icc/internal/crypto/multisig"
 	"icc/internal/crypto/sig"
 	"icc/internal/engine"
 	"icc/internal/pool"
@@ -59,7 +59,7 @@ type Engine struct {
 	replaying bool // WAL replay in progress: suppress new signatures and sends
 	lost      bool // behind the prune horizon with no checkpoint path (resync.go)
 	ckpts     map[types.Round]*pendingCheckpoint
-	ckptPub   *multisig.PublicInfo // S_final keys at t+1 under DomainCheckpoint
+	ckptPub   aggsig.Scheme // S_final keys at t+1 under DomainCheckpoint
 
 	out []engine.Output
 }
@@ -392,7 +392,7 @@ func (e *Engine) tryFinishRound(now time.Duration) bool {
 		msg := types.SigningBytes(k, b.Proposer, h)
 		fs := &types.FinalizationShare{
 			Round: k, Proposer: b.Proposer, BlockHash: h, Signer: e.cfg.Self,
-			Sig: sig.Sign(e.cfg.Priv.Final.Key, types.DomainFinalization, msg),
+			Sig: e.cfg.Priv.Final.Sign(types.DomainFinalization, msg).Signature,
 		}
 		if added, _ := e.pool.AddFinalizationShare(fs); added {
 			e.logArtifact(fs)

@@ -79,6 +79,50 @@ func (pk *PublicKey) Verify(msg []byte, sig *Signature) error {
 // beacon derivation).
 func (s *Signature) Point() *G1Point { return s.s }
 
+// Point returns the public key's G2 point (for aggregate-public-key
+// accumulation).
+func (pk *PublicKey) Point() *G2Point { return pk.p }
+
+// PublicKeyFromPoint wraps a G2 point as a verification key.
+func PublicKeyFromPoint(p *G2Point) *PublicKey { return &PublicKey{p: p} }
+
+// SecretKeyLen is the encoded secret-scalar length.
+const SecretKeyLen = 32
+
+// Encode serialises the secret scalar (32 bytes, big-endian).
+func (sk *SecretKey) Encode() []byte {
+	out := make([]byte, SecretKeyLen)
+	sk.k.FillBytes(out)
+	return out
+}
+
+// DecodeSecretKey parses a secret scalar encoded by Encode.
+func DecodeSecretKey(b []byte) (*SecretKey, error) {
+	if len(b) != SecretKeyLen {
+		return nil, fmt.Errorf("bls: bad secret key length %d", len(b))
+	}
+	k := new(big.Int).SetBytes(b)
+	if k.Sign() == 0 || k.Cmp(R) >= 0 {
+		return nil, errors.New("bls: secret scalar out of range")
+	}
+	return &SecretKey{k: k}, nil
+}
+
+// Encode serialises the verification key (uncompressed G2).
+func (pk *PublicKey) Encode() []byte { return pk.p.Encode() }
+
+// DecodePublicKey parses a verification key encoded by Encode.
+func DecodePublicKey(b []byte) (*PublicKey, error) {
+	p, err := DecodeG2(b)
+	if err != nil {
+		return nil, err
+	}
+	if p.IsInfinity() {
+		return nil, errors.New("bls: public key is the identity")
+	}
+	return &PublicKey{p: p}, nil
+}
+
 // Equal reports signature equality (meaningful because BLS signatures
 // are unique).
 func (s *Signature) Equal(t *Signature) bool { return s.s.Equal(t.s) }

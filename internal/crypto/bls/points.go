@@ -241,6 +241,10 @@ func (p *G2Point) Mul(k *big.Int) *G2Point {
 // G1PointLen is the uncompressed encoding length (x ‖ y, 48 bytes each).
 const G1PointLen = 96
 
+// G2PointLen is the uncompressed encoding length (x.a0 ‖ x.a1 ‖ y.a0 ‖
+// y.a1, 48 bytes each).
+const G2PointLen = 192
+
 // Encode serialises the point uncompressed; the identity is all zeros.
 func (p *G1Point) Encode() []byte {
 	out := make([]byte, G1PointLen)
@@ -274,6 +278,49 @@ func DecodeG1(b []byte) (*G1Point, error) {
 		return nil, errors.New("bls: G1 coordinate out of range")
 	}
 	p := &G1Point{x: x, y: y}
+	if !p.IsOnCurve() {
+		return nil, errors.New("bls: point not on curve")
+	}
+	return p, nil
+}
+
+// Encode serialises the point uncompressed; the identity is all zeros.
+func (p *G2Point) Encode() []byte {
+	out := make([]byte, G2PointLen)
+	if p.IsInfinity() {
+		return out
+	}
+	p.x.a0.FillBytes(out[:48])
+	p.x.a1.FillBytes(out[48:96])
+	p.y.a0.FillBytes(out[96:144])
+	p.y.a1.FillBytes(out[144:])
+	return out
+}
+
+// DecodeG2 parses an encoding produced by Encode, rejecting off-curve
+// points.
+func DecodeG2(b []byte) (*G2Point, error) {
+	if len(b) != G2PointLen {
+		return nil, fmt.Errorf("bls: bad G2 encoding length %d", len(b))
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return G2Infinity(), nil
+	}
+	coords := make([]*big.Int, 4)
+	for i := range coords {
+		coords[i] = new(big.Int).SetBytes(b[i*48 : (i+1)*48])
+		if coords[i].Cmp(P) >= 0 {
+			return nil, errors.New("bls: G2 coordinate out of range")
+		}
+	}
+	p := &G2Point{x: fp2{coords[0], coords[1]}, y: fp2{coords[2], coords[3]}}
 	if !p.IsOnCurve() {
 		return nil, errors.New("bls: point not on curve")
 	}

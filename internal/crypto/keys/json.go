@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"icc/internal/crypto/aggsig"
+	"icc/internal/crypto/bls"
 	"icc/internal/crypto/ec"
 	"icc/internal/crypto/multisig"
 	"icc/internal/crypto/sig"
@@ -13,11 +15,16 @@ import (
 )
 
 // The JSON forms below exist so that cmd/icckeygen can write key files
-// that cmd/iccnode reads back; all binary values are hex strings.
+// that cmd/iccnode reads back; all binary values are hex strings. The
+// cert_scheme field selects how the notary/final key and secret hex
+// strings decode: ed25519 material under "multisig", BLS12-381 material
+// under "bls". Files written before the field existed decode as
+// multisig (the historical scheme).
 
 type jsonPublic struct {
 	N           int      `json:"n"`
 	T           int      `json:"t"`
+	CertScheme  string   `json:"cert_scheme,omitempty"`
 	Auth        []string `json:"auth_keys"`
 	Notary      []string `json:"notary_keys"`
 	Final       []string `json:"final_keys"`
@@ -27,11 +34,12 @@ type jsonPublic struct {
 }
 
 type jsonPrivate struct {
-	Index  int    `json:"index"`
-	Auth   string `json:"auth_sk"`
-	Notary string `json:"notary_sk"`
-	Final  string `json:"final_sk"`
-	Beacon string `json:"beacon_sk"`
+	Index      int    `json:"index"`
+	CertScheme string `json:"cert_scheme,omitempty"`
+	Auth       string `json:"auth_sk"`
+	Notary     string `json:"notary_sk"`
+	Final      string `json:"final_sk"`
+	Beacon     string `json:"beacon_sk"`
 }
 
 func hexKeys[T ~[]byte](ks []T) []string {
@@ -54,18 +62,69 @@ func unhexKeys(ss []string) ([]sig.PublicKey, error) {
 	return out, nil
 }
 
+// hexScheme serialises one certificate-scheme instance's public keys.
+func hexScheme(s aggsig.Scheme) ([]string, error) {
+	switch info := s.(type) {
+	case *multisig.PublicInfo:
+		return hexKeys(info.Keys), nil
+	case *aggsig.BLSInfo:
+		out := make([]string, len(info.Keys))
+		for i, pk := range info.Keys {
+			out[i] = hex.EncodeToString(pk.Encode())
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("keys: unserialisable certificate scheme %T", s)
+	}
+}
+
+// unhexScheme parses one instance's public keys under the named scheme.
+func unhexScheme(scheme aggsig.SchemeID, n int, ss []string) (aggsig.Scheme, error) {
+	switch scheme {
+	case aggsig.SchemeMultisig:
+		ks, err := unhexKeys(ss)
+		if err != nil {
+			return nil, err
+		}
+		return &multisig.PublicInfo{N: n, Threshold: types.NotaryQuorum(n), Keys: ks}, nil
+	case aggsig.SchemeBLS:
+		ks := make([]*bls.PublicKey, len(ss))
+		for i, s := range ss {
+			raw, err := hex.DecodeString(s)
+			if err != nil {
+				return nil, fmt.Errorf("keys: bad hex at %d: %w", i, err)
+			}
+			if ks[i], err = bls.DecodePublicKey(raw); err != nil {
+				return nil, fmt.Errorf("keys: bls key %d: %w", i, err)
+			}
+		}
+		return &aggsig.BLSInfo{N: n, Q: types.NotaryQuorum(n), Keys: ks}, nil
+	default:
+		return nil, fmt.Errorf("keys: unknown certificate scheme %s", scheme)
+	}
+}
+
 // MarshalJSON implements json.Marshaler.
 func (p *Public) MarshalJSON() ([]byte, error) {
 	shares := make([]string, len(p.Beacon.Shares))
 	for i, pt := range p.Beacon.Shares {
 		shares[i] = hex.EncodeToString(pt.Encode())
 	}
+	notary, err := hexScheme(p.Notary)
+	if err != nil {
+		return nil, err
+	}
+	final, err := hexScheme(p.Final)
+	if err != nil {
+		return nil, err
+	}
 	return json.Marshal(jsonPublic{
 		N:           p.N,
 		T:           p.T,
+		CertScheme:  p.CertScheme().String(),
 		Auth:        hexKeys(p.Auth),
-		Notary:      hexKeys(p.Notary.Keys),
-		Final:       hexKeys(p.Final.Keys),
+		Notary:      notary,
+		Final:       final,
 		BeaconGlob:  hex.EncodeToString(p.Beacon.Global.Encode()),
 		BeaconShare: shares,
 		GenesisSeed: hex.EncodeToString(p.GenesisSeed),
@@ -78,15 +137,19 @@ func (p *Public) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &j); err != nil {
 		return err
 	}
+	scheme, err := aggsig.ParseSchemeID(j.CertScheme)
+	if err != nil {
+		return err
+	}
 	auth, err := unhexKeys(j.Auth)
 	if err != nil {
 		return err
 	}
-	notary, err := unhexKeys(j.Notary)
+	notary, err := unhexScheme(scheme, j.N, j.Notary)
 	if err != nil {
 		return err
 	}
-	final, err := unhexKeys(j.Final)
+	final, err := unhexScheme(scheme, j.N, j.Final)
 	if err != nil {
 		return err
 	}
@@ -114,21 +177,63 @@ func (p *Public) UnmarshalJSON(b []byte) error {
 	}
 	p.N, p.T = j.N, j.T
 	p.Auth = auth
-	p.Notary = &multisig.PublicInfo{N: j.N, Threshold: types.NotaryQuorum(j.N), Keys: notary}
-	p.Final = &multisig.PublicInfo{N: j.N, Threshold: types.NotaryQuorum(j.N), Keys: final}
+	p.Notary = notary
+	p.Final = final
 	p.Beacon = &thresig.PublicInfo{N: j.N, Threshold: types.BeaconQuorum(j.N), Global: glob, Shares: shares}
 	p.GenesisSeed = seed
 	return nil
 }
 
+// hexSigner serialises one certificate-scheme signing key, returning the
+// scheme it belongs to.
+func hexSigner(s aggsig.Signer) (string, aggsig.SchemeID, error) {
+	switch sk := s.(type) {
+	case multisig.SecretKey:
+		return hex.EncodeToString(sk.Key), aggsig.SchemeMultisig, nil
+	case aggsig.BLSSecretKey:
+		return hex.EncodeToString(sk.Key.Encode()), aggsig.SchemeBLS, nil
+	default:
+		return "", 0, fmt.Errorf("keys: unserialisable signing key %T", s)
+	}
+}
+
+// unhexSigner parses one signing key under the named scheme.
+func unhexSigner(scheme aggsig.SchemeID, index int, s string) (aggsig.Signer, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("keys: bad hex: %w", err)
+	}
+	switch scheme {
+	case aggsig.SchemeMultisig:
+		return multisig.SecretKey{Index: index, Key: sig.PrivateKey(raw)}, nil
+	case aggsig.SchemeBLS:
+		sk, err := bls.DecodeSecretKey(raw)
+		if err != nil {
+			return nil, err
+		}
+		return aggsig.BLSSecretKey{Index: index, Key: sk}, nil
+	default:
+		return nil, fmt.Errorf("keys: unknown certificate scheme %s", scheme)
+	}
+}
+
 // MarshalJSON implements json.Marshaler.
 func (p *Private) MarshalJSON() ([]byte, error) {
+	notary, scheme, err := hexSigner(p.Notary)
+	if err != nil {
+		return nil, err
+	}
+	final, _, err := hexSigner(p.Final)
+	if err != nil {
+		return nil, err
+	}
 	return json.Marshal(jsonPrivate{
-		Index:  int(p.Index),
-		Auth:   hex.EncodeToString(p.Auth),
-		Notary: hex.EncodeToString(p.Notary.Key),
-		Final:  hex.EncodeToString(p.Final.Key),
-		Beacon: hex.EncodeToString(p.Beacon.Key.Encode()),
+		Index:      int(p.Index),
+		CertScheme: scheme.String(),
+		Auth:       hex.EncodeToString(p.Auth),
+		Notary:     notary,
+		Final:      final,
+		Beacon:     hex.EncodeToString(p.Beacon.Key.Encode()),
 	})
 }
 
@@ -138,15 +243,19 @@ func (p *Private) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &j); err != nil {
 		return err
 	}
+	scheme, err := aggsig.ParseSchemeID(j.CertScheme)
+	if err != nil {
+		return err
+	}
 	auth, err := hex.DecodeString(j.Auth)
 	if err != nil {
 		return fmt.Errorf("keys: auth sk: %w", err)
 	}
-	notary, err := hex.DecodeString(j.Notary)
+	notary, err := unhexSigner(scheme, j.Index, j.Notary)
 	if err != nil {
 		return fmt.Errorf("keys: notary sk: %w", err)
 	}
-	final, err := hex.DecodeString(j.Final)
+	final, err := unhexSigner(scheme, j.Index, j.Final)
 	if err != nil {
 		return fmt.Errorf("keys: final sk: %w", err)
 	}
@@ -160,8 +269,8 @@ func (p *Private) UnmarshalJSON(b []byte) error {
 	}
 	p.Index = types.PartyID(j.Index)
 	p.Auth = sig.PrivateKey(auth)
-	p.Notary = multisig.SecretKey{Index: j.Index, Key: sig.PrivateKey(notary)}
-	p.Final = multisig.SecretKey{Index: j.Index, Key: sig.PrivateKey(final)}
+	p.Notary = notary
+	p.Final = final
 	p.Beacon = thresig.SecretShare{Index: j.Index, Key: beacon}
 	return nil
 }

@@ -6,15 +6,21 @@
 //
 // Per party the material comprises (paper §3.2):
 //   - an S_auth signing key (ordinary signatures, ed25519),
-//   - an S_notary key for the (t, n−t, n) notarization multi-signature,
-//   - an S_final key for the (t, n−t, n) finalization multi-signature,
+//   - an S_notary key for the (t, n−t, n) notarization certificate,
+//   - an S_final key for the (t, n−t, n) finalization certificate,
 //   - an S_beacon share of the (t, t+1, n) unique threshold signature.
+//
+// The certificate instances are dealt under a pluggable
+// aggsig.SchemeID — ed25519 multisig by default, BLS12-381 aggregate
+// signatures optionally (DESIGN.md §15) — and every layer downstream
+// handles them through the aggsig.Scheme interface.
 package keys
 
 import (
 	"fmt"
 	"io"
 
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/multisig"
 	"icc/internal/crypto/sig"
 	"icc/internal/crypto/thresig"
@@ -26,25 +32,36 @@ type Public struct {
 	N      int
 	T      int // tolerated faults, t < n/3
 	Auth   []sig.PublicKey
-	Notary *multisig.PublicInfo
-	Final  *multisig.PublicInfo
+	Notary aggsig.Scheme
+	Final  aggsig.Scheme
 	Beacon *thresig.PublicInfo
 	// GenesisSeed is the fixed initial beacon value R_0, known to all
 	// parties (paper §2.3).
 	GenesisSeed []byte
 }
 
+// CertScheme reports the aggregate-signature scheme the cluster's
+// certificates use.
+func (p *Public) CertScheme() aggsig.SchemeID { return p.Notary.ID() }
+
 // Private is one party's secret key material.
 type Private struct {
 	Index  types.PartyID
 	Auth   sig.PrivateKey
-	Notary multisig.SecretKey
-	Final  multisig.SecretKey
+	Notary aggsig.Signer
+	Final  aggsig.Signer
 	Beacon thresig.SecretShare
 }
 
-// Deal generates the full key material for an n-party cluster.
+// Deal generates the full key material for an n-party cluster under the
+// default (multisig) certificate scheme.
 func Deal(rng io.Reader, n int) (*Public, []Private, error) {
+	return DealScheme(rng, n, aggsig.SchemeMultisig)
+}
+
+// DealScheme generates the full key material for an n-party cluster
+// with the given certificate scheme for S_notary and S_final.
+func DealScheme(rng io.Reader, n int, scheme aggsig.SchemeID) (*Public, []Private, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("keys: invalid party count %d", n)
 	}
@@ -53,8 +70,6 @@ func Deal(rng io.Reader, n int) (*Public, []Private, error) {
 		N:           n,
 		T:           t,
 		Auth:        make([]sig.PublicKey, n),
-		Notary:      &multisig.PublicInfo{N: n, Threshold: types.NotaryQuorum(n), Keys: make([]sig.PublicKey, n)},
-		Final:       &multisig.PublicInfo{N: n, Threshold: types.NotaryQuorum(n), Keys: make([]sig.PublicKey, n)},
 		GenesisSeed: []byte("icc genesis beacon seed"),
 	}
 	privs := make([]Private, n)
@@ -64,15 +79,9 @@ func Deal(rng io.Reader, n int) (*Public, []Private, error) {
 		if pub.Auth[i], privs[i].Auth, err = sig.GenerateKey(rng); err != nil {
 			return nil, nil, fmt.Errorf("keys: auth key %d: %w", i, err)
 		}
-		var notarySk, finalSk sig.PrivateKey
-		if pub.Notary.Keys[i], notarySk, err = sig.GenerateKey(rng); err != nil {
-			return nil, nil, fmt.Errorf("keys: notary key %d: %w", i, err)
-		}
-		privs[i].Notary = multisig.SecretKey{Index: i, Key: notarySk}
-		if pub.Final.Keys[i], finalSk, err = sig.GenerateKey(rng); err != nil {
-			return nil, nil, fmt.Errorf("keys: final key %d: %w", i, err)
-		}
-		privs[i].Final = multisig.SecretKey{Index: i, Key: finalSk}
+	}
+	if err := dealCertScheme(rng, n, scheme, pub, privs); err != nil {
+		return nil, nil, err
 	}
 	beaconPub, beaconShares, err := thresig.Deal(rng, types.BeaconQuorum(n), n)
 	if err != nil {
@@ -83,4 +92,44 @@ func Deal(rng io.Reader, n int) (*Public, []Private, error) {
 		privs[i].Beacon = beaconShares[i]
 	}
 	return pub, privs, nil
+}
+
+// dealCertScheme fills the S_notary and S_final instances.
+func dealCertScheme(rng io.Reader, n int, scheme aggsig.SchemeID, pub *Public, privs []Private) error {
+	quorum := types.NotaryQuorum(n)
+	switch scheme {
+	case aggsig.SchemeMultisig:
+		notary := &multisig.PublicInfo{N: n, Threshold: quorum, Keys: make([]sig.PublicKey, n)}
+		final := &multisig.PublicInfo{N: n, Threshold: quorum, Keys: make([]sig.PublicKey, n)}
+		for i := 0; i < n; i++ {
+			var notarySk, finalSk sig.PrivateKey
+			var err error
+			if notary.Keys[i], notarySk, err = sig.GenerateKey(rng); err != nil {
+				return fmt.Errorf("keys: notary key %d: %w", i, err)
+			}
+			privs[i].Notary = multisig.SecretKey{Index: i, Key: notarySk}
+			if final.Keys[i], finalSk, err = sig.GenerateKey(rng); err != nil {
+				return fmt.Errorf("keys: final key %d: %w", i, err)
+			}
+			privs[i].Final = multisig.SecretKey{Index: i, Key: finalSk}
+		}
+		pub.Notary, pub.Final = notary, final
+	case aggsig.SchemeBLS:
+		notary, notarySks, err := aggsig.DealBLS(rng, quorum, n)
+		if err != nil {
+			return fmt.Errorf("keys: notary scheme: %w", err)
+		}
+		final, finalSks, err := aggsig.DealBLS(rng, quorum, n)
+		if err != nil {
+			return fmt.Errorf("keys: final scheme: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			privs[i].Notary = notarySks[i]
+			privs[i].Final = finalSks[i]
+		}
+		pub.Notary, pub.Final = notary, final
+	default:
+		return fmt.Errorf("keys: unknown certificate scheme %s", scheme)
+	}
+	return nil
 }

@@ -9,6 +9,11 @@
 // a set of signature shares." The (t, h, n) security game is satisfied
 // directly: a valid aggregate proves h distinct parties signed, so at
 // least h−t honest parties authorized the message.
+//
+// PublicInfo implements aggsig.Scheme — the repository-default
+// instantiation of the pluggable certificate interface (DESIGN.md §15).
+// Its certificates grow ~66 B per signer; the aggsig.BLSInfo alternative
+// keeps them constant-size.
 package multisig
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 
 	"icc/internal/crypto"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/sig"
 )
@@ -34,11 +40,9 @@ type SecretKey struct {
 	Key   sig.PrivateKey
 }
 
-// Share is one party's signature share on a message.
-type Share struct {
-	Signer    int
-	Signature []byte
-}
+// Share is one party's signature share on a message — the scheme-neutral
+// aggsig form; the Signature bytes are an ed25519 signature here.
+type Share = aggsig.Share
 
 // Aggregate is a combined signature: a signer bitmap plus the individual
 // signatures, stored in increasing signer order.
@@ -61,6 +65,21 @@ func (k SecretKey) Sign(domain hash.Domain, msg []byte) *Share {
 	return &Share{Signer: k.Index, Signature: sig.Sign(k.Key, domain, msg)}
 }
 
+// ID implements aggsig.Scheme.
+func (p *PublicInfo) ID() aggsig.SchemeID { return aggsig.SchemeMultisig }
+
+// Parties implements aggsig.Scheme.
+func (p *PublicInfo) Parties() int { return p.N }
+
+// Quorum implements aggsig.Scheme.
+func (p *PublicInfo) Quorum() int { return p.Threshold }
+
+// WithQuorum implements aggsig.Scheme: the same keys at a different
+// quorum (the checkpoint certificate re-uses S_final keys at t+1).
+func (p *PublicInfo) WithQuorum(q int) aggsig.Scheme {
+	return &PublicInfo{N: p.N, Threshold: q, Keys: p.Keys}
+}
+
 // VerifyShare checks one share against the registered key of its signer.
 func (p *PublicInfo) VerifyShare(domain hash.Domain, msg []byte, s *Share) error {
 	if s == nil || s.Signer < 0 || s.Signer >= p.N {
@@ -75,7 +94,7 @@ func (p *PublicInfo) VerifyShare(domain hash.Domain, msg []byte, s *Share) error
 // Combine verifies the supplied shares and, if at least Threshold distinct
 // valid ones are present, outputs an aggregate. Invalid and duplicate
 // shares are skipped, matching the protocol's tolerance of corrupt input.
-func (p *PublicInfo) Combine(domain hash.Domain, msg []byte, shares []*Share) (*Aggregate, error) {
+func (p *PublicInfo) Combine(domain hash.Domain, msg []byte, shares []*Share) (aggsig.Certificate, error) {
 	bySigner := make(map[int][]byte, len(shares))
 	for _, s := range shares {
 		if s == nil {
@@ -92,20 +111,7 @@ func (p *PublicInfo) Combine(domain hash.Domain, msg []byte, shares []*Share) (*
 			break
 		}
 	}
-	if len(bySigner) < p.Threshold {
-		return nil, fmt.Errorf("%w: %d valid of %d needed", ErrNotEnoughShares, len(bySigner), p.Threshold)
-	}
-	agg := &Aggregate{
-		Signers: make([]int, 0, len(bySigner)),
-		Sigs:    make([][]byte, 0, len(bySigner)),
-	}
-	for i := 0; i < p.N; i++ {
-		if s, ok := bySigner[i]; ok {
-			agg.Signers = append(agg.Signers, i)
-			agg.Sigs = append(agg.Sigs, s)
-		}
-	}
-	return agg, nil
+	return p.assemble(bySigner)
 }
 
 // CombineVerified aggregates shares whose signatures the caller has
@@ -115,7 +121,7 @@ func (p *PublicInfo) Combine(domain hash.Domain, msg []byte, shares []*Share) (*
 // structural, not cryptographic, properties. The caller's attestation
 // is load-bearing: feeding unverified shares here produces an aggregate
 // that other parties will reject.
-func (p *PublicInfo) CombineVerified(shares []*Share) (*Aggregate, error) {
+func (p *PublicInfo) CombineVerified(shares []*Share) (aggsig.Certificate, error) {
 	bySigner := make(map[int][]byte, len(shares))
 	for _, s := range shares {
 		if s == nil || s.Signer < 0 || s.Signer >= p.N {
@@ -129,6 +135,11 @@ func (p *PublicInfo) CombineVerified(shares []*Share) (*Aggregate, error) {
 			break
 		}
 	}
+	return p.assemble(bySigner)
+}
+
+// assemble orders a deduplicated signer→signature map into an Aggregate.
+func (p *PublicInfo) assemble(bySigner map[int][]byte) (aggsig.Certificate, error) {
 	if len(bySigner) < p.Threshold {
 		return nil, fmt.Errorf("%w: %d valid of %d needed", ErrNotEnoughShares, len(bySigner), p.Threshold)
 	}
@@ -145,10 +156,20 @@ func (p *PublicInfo) CombineVerified(shares []*Share) (*Aggregate, error) {
 	return agg, nil
 }
 
-// Verify checks an aggregate: at least Threshold distinct in-range
-// signers, sorted without duplicates, each signature valid.
-func (p *PublicInfo) Verify(domain hash.Domain, msg []byte, agg *Aggregate) error {
-	if agg == nil || len(agg.Signers) != len(agg.Sigs) {
+// Verify checks a certificate: produced by this scheme, at least
+// Threshold distinct in-range signers, sorted without duplicates, each
+// signature valid.
+func (p *PublicInfo) Verify(domain hash.Domain, msg []byte, c aggsig.Certificate) error {
+	agg, ok := c.(*Aggregate)
+	if !ok || agg == nil {
+		var got aggsig.SchemeID
+		if c != nil && !ok {
+			got = c.Scheme()
+		}
+		return fmt.Errorf("%w: certificate scheme %s, verifier configured for %s",
+			ErrBadAggregate, got, aggsig.SchemeMultisig)
+	}
+	if len(agg.Signers) != len(agg.Sigs) {
 		return fmt.Errorf("%w: malformed", ErrBadAggregate)
 	}
 	if len(agg.Signers) < p.Threshold {
@@ -167,9 +188,17 @@ func (p *PublicInfo) Verify(domain hash.Domain, msg []byte, agg *Aggregate) erro
 	return nil
 }
 
-// Encode serialises the aggregate: u16 count, then (u16 signer, sig) pairs.
+// Scheme implements aggsig.Certificate.
+func (agg *Aggregate) Scheme() aggsig.SchemeID { return aggsig.SchemeMultisig }
+
+// SignerIDs implements aggsig.Certificate.
+func (agg *Aggregate) SignerIDs() []int { return agg.Signers }
+
+// Encode serialises the aggregate: scheme tag, u16 count, then
+// (u16 signer, sig) pairs.
 func (agg *Aggregate) Encode() []byte {
-	out := make([]byte, 0, 2+len(agg.Signers)*(2+sig.SignatureLen))
+	out := make([]byte, 0, 3+len(agg.Signers)*(2+sig.SignatureLen))
+	out = append(out, byte(aggsig.SchemeMultisig))
 	out = binary.BigEndian.AppendUint16(out, uint16(len(agg.Signers)))
 	for i, signer := range agg.Signers {
 		out = binary.BigEndian.AppendUint16(out, uint16(signer))
@@ -178,8 +207,18 @@ func (agg *Aggregate) Encode() []byte {
 	return out
 }
 
+// Decode implements aggsig.Scheme, rejecting certificates tagged for a
+// different scheme.
+func (p *PublicInfo) Decode(b []byte) (aggsig.Certificate, error) {
+	return DecodeAggregate(b)
+}
+
 // DecodeAggregate parses an aggregate encoded by Encode.
 func DecodeAggregate(b []byte) (*Aggregate, error) {
+	b, err := aggsig.CheckTag(b, aggsig.SchemeMultisig)
+	if err != nil {
+		return nil, fmt.Errorf("multisig: %w", err)
+	}
 	if len(b) < 2 {
 		return nil, fmt.Errorf("%w: truncated", ErrBadAggregate)
 	}
@@ -202,3 +241,9 @@ func DecodeAggregate(b []byte) (*Aggregate, error) {
 	}
 	return agg, nil
 }
+
+var (
+	_ aggsig.Scheme      = (*PublicInfo)(nil)
+	_ aggsig.Certificate = (*Aggregate)(nil)
+	_ aggsig.Signer      = SecretKey{}
+)

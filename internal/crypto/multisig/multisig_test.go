@@ -41,8 +41,8 @@ func TestSignCombineVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(agg.Signers) != 9 {
-		t.Fatalf("aggregate carries %d signers, want 9", len(agg.Signers))
+	if len(agg.SignerIDs()) != 9 {
+		t.Fatalf("aggregate carries %d signers, want 9", len(agg.SignerIDs()))
 	}
 	if err := pub.Verify(testDomain, msg, agg); err != nil {
 		t.Fatalf("valid aggregate rejected: %v", err)
@@ -88,9 +88,9 @@ func TestCombineSkipsJunk(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []int{1, 2, 4}
-	for i, s := range agg.Signers {
+	for i, s := range agg.SignerIDs() {
 		if s != want[i] {
-			t.Fatalf("signers = %v, want %v", agg.Signers, want)
+			t.Fatalf("signers = %v, want %v", agg.SignerIDs(), want)
 		}
 	}
 }
@@ -107,10 +107,11 @@ func TestCombineFailsBelowThreshold(t *testing.T) {
 func TestVerifyRejectsMalformedAggregates(t *testing.T) {
 	pub, keys := deal(t, 2, 4)
 	msg := []byte("m")
-	agg, err := pub.Combine(testDomain, msg, signAll(keys, msg))
+	cert, err := pub.Combine(testDomain, msg, signAll(keys, msg))
 	if err != nil {
 		t.Fatal(err)
 	}
+	agg := cert.(*Aggregate)
 	cases := map[string]*Aggregate{
 		"nil":               nil,
 		"too few":           {Signers: agg.Signers[:1], Sigs: agg.Sigs[:1]},
@@ -181,5 +182,14 @@ func BenchmarkVerifyAggregate13(b *testing.B) {
 		if err := pub.Verify(testDomain, msg, agg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkSign13(b *testing.B) {
+	_, keys := deal(b, 9, 13)
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys[i%len(keys)].Sign(testDomain, msg)
 	}
 }

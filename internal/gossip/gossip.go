@@ -34,9 +34,10 @@ import (
 	"math/rand"
 	"time"
 
+	"icc/internal/beacon"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
-	"icc/internal/crypto/multisig"
 	"icc/internal/engine"
 	"icc/internal/types"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	// up to this long and leave as one ShareBundle per neighbour. Zero
 	// disables batching (every share relays as its own frame).
 	ShareBatchWindow time.Duration
+	// AdaptiveBatch makes the batch window load-adaptive: a share that
+	// arrives with the queue empty and no other share seen within the
+	// last window relays immediately — an idle or lightly-loaded party
+	// pays no batching latency and arms no flush timer — while shares
+	// arriving in bursts batch as usual. Requires ShareBatchWindow > 0.
+	AdaptiveBatch bool
 	// MaxBatchShares flushes a pending batch early once it holds this
 	// many shares, bounding latency and frame size under load. Default
 	// max(64, 2·N): at least one statement's full quorum of shares must
@@ -93,6 +100,17 @@ type Config struct {
 	// Keys is the cluster's public key material, needed by Aggregate for
 	// thresholds and share verification.
 	Keys *keys.Public
+
+	// Outputs, when non-nil, enables beacon-output relaying: the first
+	// party to recover a round's beacon gossips the single verifiable
+	// output (types.BeaconOutput) and every relay forwards that one
+	// message while suppressing the round's remaining share flood.
+	// Received outputs are verified against the beacon's global key
+	// before installation unless TrustShares is set. Only beacon
+	// backends with third-party-verifiable outputs implement the
+	// capability (see beacon.OutputSource); the engine's beacon source
+	// and this field must be the same object.
+	Outputs beacon.OutputSource
 }
 
 // withDefaults fills the zero-value knobs.
@@ -140,6 +158,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.MaxBatchShares < 0 {
 		return fmt.Errorf("gossip: negative max batch shares %d", cfg.MaxBatchShares)
+	}
+	if cfg.AdaptiveBatch && cfg.ShareBatchWindow <= 0 {
+		return fmt.Errorf("gossip: AdaptiveBatch requires ShareBatchWindow > 0")
 	}
 	if cfg.Aggregate && cfg.Keys == nil {
 		return fmt.Errorf("gossip: Aggregate requires Keys")
@@ -249,15 +270,20 @@ type Engine struct {
 	// flight per ref with further advertisers held in reserve.
 	fetch map[types.Ref]*fetchState
 
-	// Share batching state: queued shares and the deadline set when the
-	// first one arrived.
-	pending []pendingShare
-	flushAt time.Duration
+	// Share batching state: queued shares, the deadline set when the
+	// first one arrived, and (for AdaptiveBatch) when the last share was
+	// seen — the idle detector.
+	pending     []pendingShare
+	flushAt     time.Duration
+	lastShareAt time.Duration
 
 	// Aggregation state per statement, and the count of beacon shares
 	// relayed per round (for the TrustShares t+1 cut-off).
 	agg         map[aggKey]*aggEntry
 	beaconRelay map[types.Round]int
+	// outputDone marks rounds whose beacon output has been gossiped or
+	// installed: their share flood stops here.
+	outputDone map[types.Round]struct{}
 
 	out []engine.Output
 }
@@ -278,6 +304,10 @@ func New(cfg Config, inner engine.Engine) (*Engine, error) {
 		fetch:       make(map[types.Ref]*fetchState),
 		agg:         make(map[aggKey]*aggEntry),
 		beaconRelay: make(map[types.Round]int),
+		outputDone:  make(map[types.Round]struct{}),
+		// Start idle: under AdaptiveBatch the very first share relays
+		// immediately instead of waiting out a full window.
+		lastShareAt: -cfg.ShareBatchWindow,
 	}, nil
 }
 
@@ -438,6 +468,15 @@ func (g *Engine) routeShare(m types.Message, skip types.PartyID, now time.Durati
 			return shareCertified
 		}
 	case *types.BeaconShare:
+		// Once the round's beacon output is known (recovered here or
+		// received as a BeaconOutput), the one relayed output supersedes
+		// the whole share flood. The output was verified before the mark
+		// was set, so this cut-off is safe even for unverified input.
+		if skip >= 0 && g.cfg.Outputs != nil {
+			if _, done := g.outputDone[v.Round]; done {
+				return shareDeliverOnly
+			}
+		}
 		// Under TrustShares, t+1 relayed shares already let every party
 		// reconstruct the round's beacon; the rest of the O(n) flood adds
 		// nothing. Without it an adversary could spend the quota with
@@ -454,6 +493,14 @@ func (g *Engine) routeShare(m types.Message, skip types.PartyID, now time.Durati
 	if g.cfg.ShareBatchWindow <= 0 {
 		return shareRelay
 	}
+	// Adaptive mode: an isolated share on an otherwise idle party goes
+	// out immediately — batching only kicks in when shares actually
+	// arrive close together, so light load pays no window latency.
+	if g.cfg.AdaptiveBatch && len(g.pending) == 0 && now >= g.lastShareAt+g.cfg.ShareBatchWindow {
+		g.lastShareAt = now
+		return shareRelay
+	}
+	g.lastShareAt = now
 	if len(g.pending) == 0 {
 		g.flushAt = now + g.cfg.ShareBatchWindow
 	}
@@ -488,14 +535,14 @@ func (g *Engine) observeShare(final bool, k types.Round, prop types.PartyID, h h
 	if final {
 		info, domain = g.cfg.Keys.Final, types.DomainFinalization
 	}
-	if len(e.sigs) < info.Threshold {
+	if len(e.sigs) < info.Quorum() {
 		return false
 	}
-	shares := make([]*multisig.Share, 0, len(e.sigs))
+	shares := make([]*aggsig.Share, 0, len(e.sigs))
 	for s, sgn := range e.sigs {
-		shares = append(shares, &multisig.Share{Signer: int(s), Signature: sgn})
+		shares = append(shares, &aggsig.Share{Signer: int(s), Signature: sgn})
 	}
-	var agg *multisig.Aggregate
+	var agg aggsig.Certificate
 	var err error
 	if g.cfg.TrustShares {
 		agg, err = info.CombineVerified(shares)
@@ -682,6 +729,10 @@ func (g *Engine) handleArtifact(from types.PartyID, m types.Message, now time.Du
 		}
 		return
 	}
+	if o, ok := m.(*types.BeaconOutput); ok {
+		g.handleBeaconOutput(from, o, now)
+		return
+	}
 	ref := types.RefOf(m)
 	if _, dup := g.seen[ref]; dup {
 		return
@@ -706,6 +757,78 @@ func (g *Engine) handleArtifact(from types.PartyID, m types.Message, now time.Du
 	// The inner engine's reactions are new artifacts of our own: gossip
 	// them to all peers (including the artifact's source).
 	g.disseminate(g.inner.HandleMessage(from, m, now), -1, now)
+	// A delivered beacon share may have completed the round's quorum:
+	// if the beacon is now recoverable, gossip the one verifiable output
+	// so downstream relays stop flooding the remaining shares.
+	if bs, ok := m.(*types.BeaconShare); ok {
+		g.maybeEmitOutput(bs.Round, now)
+	}
+}
+
+// handleBeaconOutput processes a received recovered beacon value: verify
+// against the global key (unless shares are trusted), install it into
+// the local beacon source, relay it onward, and stop relaying the
+// round's shares. It is consumed here, not delivered to the inner
+// engine — installation IS the delivery.
+func (g *Engine) handleBeaconOutput(from types.PartyID, o *types.BeaconOutput, now time.Duration) {
+	src := g.cfg.Outputs
+	if src == nil {
+		// Capability off (or beacon backend not output-verifiable): an
+		// unverifiable blob from the network is dropped, and the round's
+		// shares keep flowing as usual.
+		return
+	}
+	ref := types.RefOf(o)
+	if _, dup := g.seen[ref]; dup {
+		return
+	}
+	if _, done := g.outputDone[o.Round]; done || src.Have(o.Round) {
+		// Known round: nothing to install or relay (our own output
+		// already made the rounds), but remember the dedup ref.
+		g.seen[ref] = struct{}{}
+		g.outputDone[o.Round] = struct{}{}
+		return
+	}
+	if !g.cfg.TrustShares {
+		if err := src.VerifyOutput(o.Round, o.Output); err != nil {
+			// Forged — or ahead of us: verification needs R_{k−1}, which
+			// we may not have yet. Not marking it seen lets a later copy
+			// succeed once we catch up.
+			return
+		}
+	}
+	if err := src.InstallOutput(o.Round, o.Output); err != nil {
+		return
+	}
+	g.seen[ref] = struct{}{}
+	g.outputDone[o.Round] = struct{}{}
+	g.put(ref, o)
+	g.relayRaw(o, ref, from)
+	// The beacon for this round just became known without any share
+	// crossing the engine: poke it so a waiting round can proceed now
+	// rather than at its next timer.
+	g.disseminate(g.inner.Tick(now), -1, now)
+}
+
+// maybeEmitOutput gossips round k's recovered beacon output once, if the
+// backend supports verifiable outputs and the round is recoverable.
+func (g *Engine) maybeEmitOutput(k types.Round, now time.Duration) {
+	src := g.cfg.Outputs
+	if src == nil {
+		return
+	}
+	if _, done := g.outputDone[k]; done {
+		return
+	}
+	if _, ok := src.Reveal(k); !ok {
+		return
+	}
+	out, ok := src.EncodeOutput(k)
+	if !ok {
+		return
+	}
+	g.outputDone[k] = struct{}{}
+	g.gossipArtifact(&types.BeaconOutput{Round: k, Output: out}, -1, now)
 }
 
 // maybeFlush sends the pending ShareBundle batch once its window closed.
@@ -811,6 +934,11 @@ func (g *Engine) gcRounds() {
 	for k := range g.beaconRelay {
 		if k < cut {
 			delete(g.beaconRelay, k)
+		}
+	}
+	for k := range g.outputDone {
+		if k < cut {
+			delete(g.outputDone, k)
 		}
 	}
 }

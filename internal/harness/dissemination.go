@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"fmt"
+
+	"icc/internal/beacon"
 	"icc/internal/engine"
 	"icc/internal/gossip"
 	"icc/internal/pool"
@@ -18,19 +21,28 @@ func (c *Cluster) wrapDissemination(pid types.PartyID, inner engine.Engine) (eng
 		if fanout <= 0 {
 			fanout = defaultFanout(c.Opts.N)
 		}
-		return gossip.New(gossip.Config{
+		cfg := gossip.Config{
 			Self:             pid,
 			N:                c.Opts.N,
 			Fanout:           fanout,
 			Seed:             c.Opts.Seed,
 			ShareBatchWindow: c.Opts.GossipBatchWindow,
+			AdaptiveBatch:    c.Opts.GossipAdaptiveBatch,
 			Aggregate:        c.Opts.GossipAggregate,
 			// VerifySharesOnly sweeps already trust locally combined
 			// aggregates; relay-side combination rests on the same basis.
 			// Under VerifyFull relays verify shares while combining.
-			TrustShares: c.Opts.Verify == pool.VerifySharesOnly,
+			TrustShares: c.Opts.Verify != pool.VerifyFull,
 			Keys:        c.Pub,
-		}, inner)
+		}
+		if c.Opts.BeaconOutputs {
+			src, ok := c.beacons[pid].(beacon.OutputSource)
+			if !ok {
+				return nil, fmt.Errorf("beacon backend has no verifiable outputs (enable SimBeacon)")
+			}
+			cfg.Outputs = src
+		}
+		return gossip.New(cfg, inner)
 	case ICC2:
 		return rbc.Wrap(rbc.Config{
 			Self: pid,

@@ -14,6 +14,7 @@ import (
 	"icc/internal/adversary"
 	"icc/internal/beacon"
 	"icc/internal/core"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/keys"
 	"icc/internal/engine"
 	"icc/internal/metrics"
@@ -67,6 +68,12 @@ type Options struct {
 	DeltaBound time.Duration
 	Epsilon    time.Duration
 
+	// CertScheme selects the aggregate-signature scheme the cluster's
+	// notarization/finalization/checkpoint certificates use. Zero value
+	// is the ed25519 multisig default; aggsig.SchemeBLS deals BLS12-381
+	// keys instead (constant-size certificates, see DESIGN.md §15).
+	CertScheme aggsig.SchemeID
+
 	// SimBeacon swaps the threshold-cryptography beacon for the fast
 	// hash-chain simulation (same message pattern; see beacon.Simulated).
 	SimBeacon bool
@@ -95,6 +102,13 @@ type Options struct {
 	// locally combined aggregates); under pool.VerifyFull they verify
 	// while combining.
 	GossipAggregate bool
+	// GossipAdaptiveBatch makes the batch window load-adaptive: isolated
+	// shares relay immediately, bursts batch (requires GossipBatchWindow).
+	GossipAdaptiveBatch bool
+	// BeaconOutputs lets ICC1 relays gossip one recovered, verifiable
+	// beacon output per round instead of t+1 shares. Requires a beacon
+	// backend with third-party-verifiable outputs (SimBeacon here).
+	BeaconOutputs bool
 
 	Adaptive   bool
 	PruneDepth types.Round
@@ -126,6 +140,11 @@ type Cluster struct {
 	Rec     *metrics.Recorder
 	Engines []*core.Engine // inner ICC engines, indexed by party
 
+	// beacons holds each party's beacon source when the harness created
+	// one explicitly (SimBeacon), so the dissemination wrapper can share
+	// the exact object for beacon-output relaying.
+	beacons []beacon.Source
+
 	mu          sync.Mutex
 	committed   [][]*types.Block
 	committedAt [][]time.Duration
@@ -142,7 +161,11 @@ func New(opts Options) (*Cluster, error) {
 	if opts.DeltaBound == 0 {
 		opts.DeltaBound = 100 * time.Millisecond
 	}
-	pub, privs, err := keys.Deal(rand.Reader, opts.N)
+	scheme := opts.CertScheme
+	if scheme == 0 {
+		scheme = aggsig.SchemeMultisig
+	}
+	pub, privs, err := keys.DealScheme(rand.Reader, opts.N, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("harness: dealing keys: %w", err)
 	}
@@ -151,6 +174,7 @@ func New(opts Options) (*Cluster, error) {
 		Pub:         pub,
 		Privs:       privs,
 		Rec:         metrics.NewRecorder(opts.N),
+		beacons:     make([]beacon.Source, opts.N),
 		committed:   make([][]*types.Block, opts.N),
 		committedAt: make([][]time.Duration, opts.N),
 	}
@@ -227,6 +251,7 @@ func (c *Cluster) engineConfig(pid types.PartyID) core.Config {
 	}
 	if c.Opts.SimBeacon {
 		cfg.Beacon = beacon.NewSimulated(c.Opts.N, pid, c.Pub.GenesisSeed)
+		c.beacons[pid] = cfg.Beacon
 	}
 	return cfg
 }

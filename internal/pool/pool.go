@@ -15,9 +15,9 @@ import (
 	"fmt"
 
 	"icc/internal/crypto"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
 	"icc/internal/crypto/keys"
-	"icc/internal/crypto/multisig"
 	"icc/internal/types"
 )
 
@@ -171,7 +171,7 @@ func (p *Pool) AddNotarizationShare(s *types.NotarizationShare) (bool, error) {
 		p.notarShares[s.BlockHash] = m
 	}
 	m[s.Signer] = s
-	if len(m) == p.pub.Notary.Threshold {
+	if len(m) == p.pub.Notary.Quorum() {
 		p.markReady(p.notarReady, s.Round, s.BlockHash)
 	}
 	return true, nil
@@ -225,7 +225,7 @@ func (p *Pool) AddFinalizationShare(s *types.FinalizationShare) (bool, error) {
 	}
 	m[s.Signer] = s
 	p.finalizableDirty[s.Round] = struct{}{}
-	if len(m) == p.pub.Final.Threshold {
+	if len(m) == p.pub.Final.Quorum() {
 		p.markReady(p.finalReady, s.Round, s.BlockHash)
 	}
 	return true, nil
@@ -342,17 +342,17 @@ func (p *Pool) NotarizedInRound(k types.Round) (hash.Digest, bool) {
 func (p *Pool) NotarShareCount(h hash.Digest) int { return len(p.notarShares[h]) }
 
 // NotarShares returns the verified notarization shares for the block as
-// multisig shares ready for combination.
+// aggregate-scheme shares ready for combination.
 //
 // Deprecated: NotarShares materialises an O(n) slice per call, and its
-// callers invariably re-verified every share inside multisig.Combine.
+// callers invariably re-verified every share inside Combine.
 // Use NotarShareCount to poll and NotarAggregateIfReady to combine.
-func (p *Pool) NotarShares(h hash.Digest) []*multisig.Share {
+func (p *Pool) NotarShares(h hash.Digest) []*aggsig.Share {
 	m := p.notarShares[h]
-	out := make([]*multisig.Share, 0, len(m))
+	out := make([]*aggsig.Share, 0, len(m))
 	for pid := 0; pid < p.pub.N; pid++ {
 		if s, ok := m[types.PartyID(pid)]; ok {
-			out = append(out, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+			out = append(out, &aggsig.Share{Signer: int(s.Signer), Signature: s.Sig})
 		}
 	}
 	return out
@@ -365,7 +365,7 @@ func (p *Pool) NotarShares(h hash.Digest) []*multisig.Share {
 // upstream pipeline that policy attests to), so combination skips the
 // per-share signature re-check the old NotarShares+Combine path paid on
 // every poll.
-func (p *Pool) NotarAggregateIfReady(h hash.Digest) (*multisig.Aggregate, bool) {
+func (p *Pool) NotarAggregateIfReady(h hash.Digest) (aggsig.Certificate, bool) {
 	return aggregateIfReady(p.pub.Notary, sharesOf(p.notarShares[h], func(s *types.NotarizationShare) (types.PartyID, []byte) {
 		return s.Signer, s.Sig
 	}))
@@ -394,12 +394,12 @@ func (p *Pool) FinalShareCount(h hash.Digest) int { return len(p.finalShares[h])
 //
 // Deprecated: FinalShares materialises an O(n) slice per call. Use
 // FinalShareCount to poll and FinalAggregateIfReady to combine.
-func (p *Pool) FinalShares(h hash.Digest) []*multisig.Share {
+func (p *Pool) FinalShares(h hash.Digest) []*aggsig.Share {
 	m := p.finalShares[h]
-	out := make([]*multisig.Share, 0, len(m))
+	out := make([]*aggsig.Share, 0, len(m))
 	for pid := 0; pid < p.pub.N; pid++ {
 		if s, ok := m[types.PartyID(pid)]; ok {
-			out = append(out, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+			out = append(out, &aggsig.Share{Signer: int(s.Signer), Signature: s.Sig})
 		}
 	}
 	return out
@@ -409,7 +409,7 @@ func (p *Pool) FinalShares(h hash.Digest) []*multisig.Share {
 // block into an aggregate, reporting false while fewer than threshold
 // distinct shares are held (same verification contract as
 // NotarAggregateIfReady).
-func (p *Pool) FinalAggregateIfReady(h hash.Digest) (*multisig.Aggregate, bool) {
+func (p *Pool) FinalAggregateIfReady(h hash.Digest) (aggsig.Certificate, bool) {
 	return aggregateIfReady(p.pub.Final, sharesOf(p.finalShares[h], func(s *types.FinalizationShare) (types.PartyID, []byte) {
 		return s.Signer, s.Sig
 	}))
@@ -426,21 +426,21 @@ func (p *Pool) ForEachFinalShareMessage(h hash.Digest, fn func(*types.Finalizati
 	}
 }
 
-// sharesOf converts a signer-keyed share map into multisig shares.
-func sharesOf[S any](m map[types.PartyID]S, fields func(S) (types.PartyID, []byte)) []*multisig.Share {
+// sharesOf converts a signer-keyed share map into aggregate-scheme shares.
+func sharesOf[S any](m map[types.PartyID]S, fields func(S) (types.PartyID, []byte)) []*aggsig.Share {
 	if len(m) == 0 {
 		return nil
 	}
-	out := make([]*multisig.Share, 0, len(m))
+	out := make([]*aggsig.Share, 0, len(m))
 	for _, s := range m {
 		signer, sg := fields(s)
-		out = append(out, &multisig.Share{Signer: int(signer), Signature: sg})
+		out = append(out, &aggsig.Share{Signer: int(signer), Signature: sg})
 	}
 	return out
 }
 
-func aggregateIfReady(info *multisig.PublicInfo, shares []*multisig.Share) (*multisig.Aggregate, bool) {
-	if len(shares) < info.Threshold {
+func aggregateIfReady(info aggsig.Scheme, shares []*aggsig.Share) (aggsig.Certificate, bool) {
+	if len(shares) < info.Quorum() {
 		return nil, false
 	}
 	agg, err := info.CombineVerified(shares)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"icc/internal/crypto"
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/keys"
-	"icc/internal/crypto/multisig"
 	"icc/internal/crypto/sig"
 	"icc/internal/types"
 )
@@ -105,7 +105,7 @@ func (v *CryptoVerifier) NotarizationShare(s *types.NotarizationShare) error {
 		return nil
 	}
 	msg := types.SigningBytes(s.Round, s.Proposer, s.BlockHash)
-	return v.pub.Notary.VerifyShare(types.DomainNotarization, msg, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+	return v.pub.Notary.VerifyShare(types.DomainNotarization, msg, &aggsig.Share{Signer: int(s.Signer), Signature: s.Sig})
 }
 
 // Notarization checks a combined n−t notarization aggregate.
@@ -116,7 +116,7 @@ func (v *CryptoVerifier) Notarization(nz *types.Notarization) error {
 	if v.policy != VerifyFull {
 		return nil
 	}
-	agg, err := multisig.DecodeAggregate(nz.Agg)
+	agg, err := v.pub.Notary.Decode(nz.Agg)
 	if err != nil {
 		return err
 	}
@@ -133,7 +133,7 @@ func (v *CryptoVerifier) FinalizationShare(s *types.FinalizationShare) error {
 		return nil
 	}
 	msg := types.SigningBytes(s.Round, s.Proposer, s.BlockHash)
-	return v.pub.Final.VerifyShare(types.DomainFinalization, msg, &multisig.Share{Signer: int(s.Signer), Signature: s.Sig})
+	return v.pub.Final.VerifyShare(types.DomainFinalization, msg, &aggsig.Share{Signer: int(s.Signer), Signature: s.Sig})
 }
 
 // Finalization checks a combined n−t finalization aggregate.
@@ -144,7 +144,7 @@ func (v *CryptoVerifier) Finalization(f *types.Finalization) error {
 	if v.policy != VerifyFull {
 		return nil
 	}
-	agg, err := multisig.DecodeAggregate(f.Agg)
+	agg, err := v.pub.Final.Decode(f.Agg)
 	if err != nil {
 		return err
 	}

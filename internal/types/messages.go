@@ -14,7 +14,8 @@ type Kind uint8
 // 8 is a transport-level bundle; 9–10 belong to the gossip sub-layer
 // (ICC1); 11 to the erasure-coded reliable broadcast (ICC2); 14–15 to
 // the durability layer (signed finalized-state checkpoints); 16 is the
-// gossip relay's coalesced share batch (sharebundle.go).
+// gossip relay's coalesced share batch (sharebundle.go); 17 is a
+// recovered beacon output relayed in place of t+1 beacon shares.
 const (
 	KindBlock Kind = iota + 1
 	KindAuthenticator
@@ -32,6 +33,7 @@ const (
 	KindCheckpointShare
 	KindCheckpoint
 	KindShareBundle
+	KindBeaconOutput
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +71,8 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case KindShareBundle:
 		return "share-bundle"
+	case KindBeaconOutput:
+		return "beacon-output"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -138,6 +142,20 @@ type BeaconShare struct {
 	Round  Round // the round whose beacon this share contributes to
 	Signer PartyID
 	Share  []byte // encoded thresig.SigShare
+}
+
+// BeaconOutput is a recovered beacon value for one round: the combined
+// unique threshold signature σ_k itself, not a share of it. A relay
+// that has already reconstructed R_k forwards this one message instead
+// of t+1 individual shares — the reconstruct-and-forward optimisation
+// the ICC gossip layer's O(n) per-party communication argument assumes.
+// It is only emitted and accepted by beacon sources whose combined
+// output is third-party verifiable (beacon.OutputSource); receivers
+// must verify the output against the beacon's global key before
+// installing it.
+type BeaconOutput struct {
+	Round  Round
+	Output []byte // encoded combined beacon signature
 }
 
 // Bundle groups several messages into one transmission, as when a party
@@ -253,6 +271,7 @@ func (*Opaque) Kind() Kind            { return KindOpaque }
 func (*Status) Kind() Kind            { return KindStatus }
 func (*CheckpointShare) Kind() Kind   { return KindCheckpointShare }
 func (*CheckpointMsg) Kind() Kind     { return KindCheckpoint }
+func (*BeaconOutput) Kind() Kind      { return KindBeaconOutput }
 
 // Compile-time interface checks.
 var (
@@ -271,6 +290,7 @@ var (
 	_ Message = (*Status)(nil)
 	_ Message = (*CheckpointShare)(nil)
 	_ Message = (*CheckpointMsg)(nil)
+	_ Message = (*BeaconOutput)(nil)
 )
 
 func (m *BlockMsg) encodeBody(e *Encoder) { m.Block.encode(e) }
@@ -312,6 +332,23 @@ func (m *Notarization) encodeBody(e *Encoder) {
 func (m *Finalization) encodeBody(e *Encoder) {
 	encodeQuorum(e, m.Round, m.Proposer, m.BlockHash, m.Agg)
 }
+
+// quorumWireSize is the exact Marshal size of a certificate message:
+// kind prefix, round u64, proposer u64, blockHash 32, agg var-bytes.
+// The agg bytes carry their own leading aggsig scheme tag, so the frame
+// size tracks the configured certificate scheme byte-exactly (the
+// encode tests pin these against len(Marshal(m))).
+func quorumWireSize(agg []byte) int { return 1 + 8 + 8 + 32 + 4 + len(agg) }
+
+// WireSize returns the exact number of bytes Marshal produces.
+func (m *Notarization) WireSize() int { return quorumWireSize(m.Agg) }
+
+// WireSize returns the exact number of bytes Marshal produces.
+func (m *Finalization) WireSize() int { return quorumWireSize(m.Agg) }
+
+// WireSize returns the exact number of bytes Marshal produces: kind
+// prefix, round u64, output var-bytes.
+func (m *BeaconOutput) WireSize() int { return 1 + 8 + 4 + len(m.Output) }
 
 func (m *BeaconShare) encodeBody(e *Encoder) {
 	e.U64(uint64(m.Round))
@@ -398,6 +435,11 @@ func (m *CheckpointShare) encodeBody(e *Encoder) {
 
 func (m *CheckpointMsg) encodeBody(e *Encoder) {
 	e.VarBytes(m.Blob)
+}
+
+func (m *BeaconOutput) encodeBody(e *Encoder) {
+	e.U64(uint64(m.Round))
+	e.VarBytes(m.Output)
 }
 
 // ErrUnknownKind is returned when decoding an unrecognised message kind.
@@ -535,6 +577,11 @@ func decodeBody(k Kind, d *Decoder) (Message, error) {
 			return nil, err
 		}
 		m = sb
+	case KindBeaconOutput:
+		o := &BeaconOutput{}
+		o.Round = Round(d.U64())
+		o.Output = d.VarBytes()
+		m = o
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}

@@ -9,8 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
-	"icc/internal/crypto/multisig"
 	"icc/internal/obs"
 	"icc/internal/pool"
 	"icc/internal/transport"
@@ -21,7 +21,7 @@ import (
 func (f *fixture) notarization(t testing.TB, b *types.Block) *types.Notarization {
 	t.Helper()
 	msg := types.SigningBytes(b.Round, b.Proposer, b.Hash())
-	shares := make([]*multisig.Share, f.pub.N)
+	shares := make([]*aggsig.Share, f.pub.N)
 	for i := range shares {
 		shares[i] = f.privs[i].Notary.Sign(types.DomainNotarization, msg)
 	}

@@ -7,8 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"icc/internal/crypto/aggsig"
 	"icc/internal/crypto/hash"
-	"icc/internal/crypto/multisig"
 	"icc/internal/obs"
 	"icc/internal/pool"
 	"icc/internal/transport"
@@ -28,7 +28,7 @@ func (f *fixture) fshare(round types.Round, proposer, signer types.PartyID, bloc
 func (f *fixture) notarizationBy(t testing.TB, round types.Round, proposer types.PartyID, bh hash.Digest, signers []int) *types.Notarization {
 	t.Helper()
 	msg := types.SigningBytes(round, proposer, bh)
-	shares := make([]*multisig.Share, 0, len(signers))
+	shares := make([]*aggsig.Share, 0, len(signers))
 	for _, i := range signers {
 		shares = append(shares, f.privs[i].Notary.Sign(types.DomainNotarization, msg))
 	}
