@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify2 race vet bench bench-scale
+.PHONY: build test verify verify2 race vet bench bench-scale chaos
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ bench-certscheme:
 bench-scale:
 	$(GO) run ./cmd/iccbench -exp scaleout -json
 
+# Adversary campaign under the race detector: the matrix sweep plus the
+# threshold-boundary withholding tests. A failing cell prints the path of
+# a replayable JSONL trace; re-run it with
+#   go test ./internal/harness -run TestCampaignFailureReplaysByteIdentical
+# or feed the path to harness.ReplayTrace / harness.Shrink directly.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosCampaign|TestWithholdExactlyTStillFinalizes|TestWithholdTPlusOneStallsThenRecovers' ./internal/harness
+
 # Tier-2 verify: static analysis plus race detection on the layers where
-# goroutines, channels, and sockets actually interleave.
-verify2: vet race
+# goroutines, channels, and sockets actually interleave — and the seeded
+# adversary campaign (safety + liveness across the behavior matrix).
+verify2: vet race chaos

@@ -42,6 +42,7 @@ var registry = map[string]func(experiments.Scale) *experiments.Table{
 	"gateway":        experiments.Gateway,
 	"scaleout":       experiments.Scaleout,
 	"certscheme":     experiments.CertScheme,
+	"adversary":      experiments.AdversaryCampaign,
 }
 
 // benchSummary is the machine-readable run record written by -json, so

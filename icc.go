@@ -528,7 +528,7 @@ func NewLocalCluster(n int, opts ...Option) (*LocalCluster, error) {
 		case SilentLeader:
 			eng = adversary.NewSilentLeader(inner)
 		case EquivocatingLeader:
-			eng = adversary.NewEquivocator(inner, n, privs[i].Auth)
+			eng = adversary.NewEquivocator(inner, n, privs[i])
 		}
 		switch o.Mode {
 		case ICC1:

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"icc/internal/core"
+	"icc/internal/crypto/hash"
+	"icc/internal/crypto/keys"
 	"icc/internal/crypto/sig"
 	"icc/internal/engine"
 	"icc/internal/types"
@@ -142,54 +144,82 @@ func NewLazyVoter(inner *core.Engine) engine.Engine {
 // NewEquivocator wraps an honest engine so that whenever it proposes a
 // block, it creates a second, conflicting block for the same round and
 // sends one to the first half of the parties and the other to the second
-// half. Honest parties that see both must disqualify its rank (Fig. 1
-// clause (c)); safety must survive regardless. n is the cluster size;
-// authKey the party's own S_auth signing key (the equivocating twin is
-// properly signed — an unsigned one would simply be dropped at the
-// pool).
-func NewEquivocator(inner *core.Engine, n int, authKey []byte) engine.Engine {
+// half. It then keeps the lie consistent at the share layer: its own
+// notarization share for the original block is likewise forked, with a
+// twin share (a real S_notary signature over the twin's statement) sent
+// to the parties that received the twin block. Honest parties that see
+// both blocks must disqualify its rank (Fig. 1 clause (c)), pools that
+// see both shares must keep them contained per block hash, and safety
+// must survive regardless. n is the cluster size; priv the party's own
+// key material (the twin block and twin share are properly signed —
+// unsigned ones would simply be dropped at the pool).
+func NewEquivocator(inner *core.Engine, n int, priv keys.Private) engine.Engine {
 	self := inner.ID()
+	type twinRec struct {
+		orig, twin hash.Digest
+	}
+	twins := make(map[types.Round]twinRec)
+	// split sends orig to the first half of the parties and alt to the
+	// rest — consistently, so each victim sees one coherent story.
+	split := func(orig, alt types.Message) []engine.Output {
+		var outs []engine.Output
+		for p := 0; p < n; p++ {
+			pid := types.PartyID(p)
+			if pid == self {
+				continue
+			}
+			if p < n/2 {
+				outs = append(outs, engine.Unicast(pid, orig))
+			} else {
+				outs = append(outs, engine.Unicast(pid, alt))
+			}
+		}
+		return outs
+	}
 	return &Filter{
 		Inner: inner,
 		Transform: func(o engine.Output) []engine.Output {
-			bundle, blk, own := isOwnProposal(self, o)
-			if !own {
-				return []engine.Output{o}
+			if bundle, blk, own := isOwnProposal(self, o); own {
+				// Build the conflicting twin: same round and parent,
+				// different payload.
+				twin := &types.Block{
+					Round:      blk.Round,
+					Proposer:   blk.Proposer,
+					ParentHash: blk.ParentHash,
+					Payload:    append([]byte("equivocation:"), blk.Payload...),
+				}
+				th := twin.Hash()
+				twinAuth := &types.Authenticator{
+					Round: twin.Round, Proposer: twin.Proposer, BlockHash: th,
+					Sig: sig.Sign(priv.Auth, types.DomainAuthenticator,
+						types.SigningBytes(twin.Round, twin.Proposer, th)),
+				}
+				twinBundle := &types.Bundle{Messages: []types.Message{&types.BlockMsg{Block: twin}, twinAuth}}
+				// Reuse the parent notarization from the original bundle.
+				for _, m := range bundle.Messages {
+					if nz, ok := m.(*types.Notarization); ok {
+						twinBundle.Messages = append(twinBundle.Messages, nz)
+					}
+				}
+				twins[blk.Round] = twinRec{orig: blk.Hash(), twin: th}
+				for k := range twins {
+					if k+8 < blk.Round {
+						delete(twins, k)
+					}
+				}
+				return split(bundle, twinBundle)
 			}
-			// Build the conflicting twin: same round and parent,
-			// different payload.
-			twin := &types.Block{
-				Round:      blk.Round,
-				Proposer:   blk.Proposer,
-				ParentHash: blk.ParentHash,
-				Payload:    append([]byte("equivocation:"), blk.Payload...),
-			}
-			th := twin.Hash()
-			twinAuth := &types.Authenticator{
-				Round: twin.Round, Proposer: twin.Proposer, BlockHash: th,
-				Sig: sig.Sign(sig.PrivateKey(authKey), types.DomainAuthenticator,
-					types.SigningBytes(twin.Round, twin.Proposer, th)),
-			}
-			twinBundle := &types.Bundle{Messages: []types.Message{&types.BlockMsg{Block: twin}, twinAuth}}
-			// Reuse the parent notarization from the original bundle.
-			for _, m := range bundle.Messages {
-				if nz, ok := m.(*types.Notarization); ok {
-					twinBundle.Messages = append(twinBundle.Messages, nz)
+			if s, ok := o.Msg.(*types.NotarizationShare); ok && s.Signer == self && s.Proposer == self {
+				if rec, ok := twins[s.Round]; ok && s.BlockHash == rec.orig {
+					twinShare := &types.NotarizationShare{
+						Round: s.Round, Proposer: s.Proposer, BlockHash: rec.twin, Signer: self,
+						Sig: priv.Notary.Sign(types.DomainNotarization,
+							types.SigningBytes(s.Round, s.Proposer, rec.twin)).Signature,
+					}
+					return split(s, twinShare)
 				}
 			}
-			var outs []engine.Output
-			for p := 0; p < n; p++ {
-				pid := types.PartyID(p)
-				if pid == self {
-					continue
-				}
-				if p < n/2 {
-					outs = append(outs, engine.Unicast(pid, bundle))
-				} else {
-					outs = append(outs, engine.Unicast(pid, twinBundle))
-				}
-			}
-			return outs
+			return []engine.Output{o}
 		},
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"icc/internal/core"
 	"icc/internal/crypto/keys"
 	"icc/internal/engine"
+	"icc/internal/pool"
 	"icc/internal/types"
 )
 
@@ -149,7 +150,7 @@ func TestLazyVoterSuppressesShares(t *testing.T) {
 func TestEquivocatorSendsConflictingBlocks(t *testing.T) {
 	const n = 4
 	inner, pub, privs := buildEngine(t, n, 2)
-	wrapped := NewEquivocator(inner, n, privs[2].Auth)
+	wrapped := NewEquivocator(inner, n, privs[2])
 	outs := driveToProposal(t, wrapped, pub, privs, n)
 
 	// The proposal must have been replaced by per-party unicasts with
@@ -179,6 +180,43 @@ func TestEquivocatorSendsConflictingBlocks(t *testing.T) {
 	for h, recipients := range hashes {
 		if len(recipients) == 0 {
 			t.Fatalf("block %x sent to nobody", h[:4])
+		}
+	}
+}
+
+func TestEquivocatorForksNotarizationShares(t *testing.T) {
+	const n = 4
+	inner, pub, privs := buildEngine(t, n, 2)
+	wrapped := NewEquivocator(inner, n, privs[2])
+	outs := driveToProposal(t, wrapped, pub, privs, n)
+
+	// The equivocator's own notarization share for its own proposal must
+	// be forked like the block was: per-party unicasts carrying two
+	// distinct block hashes, each a genuinely verifiable share.
+	shares := map[[32]byte][]types.PartyID{}
+	var forked []*types.NotarizationShare
+	for _, o := range outs {
+		s, ok := o.Msg.(*types.NotarizationShare)
+		if !ok || s.Signer != 2 || s.Proposer != 2 {
+			continue
+		}
+		if o.Broadcast {
+			t.Fatal("equivocator broadcast its own-proposal share instead of splitting")
+		}
+		if _, seen := shares[s.BlockHash]; !seen {
+			forked = append(forked, s)
+		}
+		shares[s.BlockHash] = append(shares[s.BlockHash], o.To)
+	}
+	if len(shares) != 2 {
+		t.Fatalf("equivocator produced shares for %d distinct blocks, want 2", len(shares))
+	}
+	// Both shares pass pool admission — the twin is a real S_notary
+	// signature over the twin statement, not junk an honest pool drops.
+	p := pool.New(pub, 0, pool.Options{})
+	for _, s := range forked {
+		if ok, err := p.AddNotarizationShare(s); !ok || err != nil {
+			t.Fatalf("forked share for %x rejected: %v", s.BlockHash[:4], err)
 		}
 	}
 }

@@ -62,7 +62,42 @@ func (m *Manual) Advance(d time.Duration) time.Duration {
 	return m.now
 }
 
+// Skewed offsets another clock by a constant: the model of a party
+// whose local clock runs ahead (positive Offset) or behind (negative)
+// of protocol time — the paper's delay functions assume loosely
+// synchronised clocks, and the adversary campaign uses Skewed parties
+// to probe how much drift the Δprop/Δntry machinery tolerates. Time
+// never goes negative: a behind-clock party pins at the epoch until
+// real time catches up.
+type Skewed struct {
+	Inner  Clock
+	Offset time.Duration
+}
+
+// Now implements Clock.
+func (s Skewed) Now() time.Duration {
+	t := s.Inner.Now() + s.Offset
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// fixedClock is frozen at a single instant.
+type fixedClock time.Duration
+
+// Now implements Clock.
+func (f fixedClock) Now() time.Duration { return time.Duration(f) }
+
+// At returns a Clock frozen at t — the adapter that lets clock
+// combinators (Skewed) transform the event-driven engines' explicit
+// `now` parameters, which arrive as values rather than as a ticking
+// source.
+func At(t time.Duration) Clock { return fixedClock(t) }
+
 var (
 	_ Clock = (*Wall)(nil)
 	_ Clock = (*Manual)(nil)
+	_ Clock = Skewed{}
+	_ Clock = fixedClock(0)
 )

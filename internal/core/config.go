@@ -85,6 +85,11 @@ type Hooks struct {
 	// OnFinishRound fires when the party sees a notarized block for its
 	// current round and moves on.
 	OnFinishRound func(k types.Round, now time.Duration)
+	// OnRankDisqualified fires when clause (c) of Fig. 1 disqualifies a
+	// proposer rank: this party saw two distinct valid round-k blocks of
+	// the same rank, proving the proposer equivocated. The adversary
+	// campaign uses it to assert Byzantine leaders are actually detected.
+	OnRankDisqualified func(k types.Round, rank types.Rank, now time.Duration)
 	// OnCommit fires for every block the Finalization Subprotocol
 	// outputs, in chain order.
 	OnCommit func(b *types.Block, now time.Duration)

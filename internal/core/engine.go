@@ -562,6 +562,9 @@ func (e *Engine) tryEchoNotarize(now time.Duration) bool {
 			// Second distinct block of this rank: the proposer
 			// equivocated — disqualify the rank.
 			e.disq[c.rank] = true
+			if e.cfg.Hooks.OnRankDisqualified != nil {
+				e.cfg.Hooks.OnRankDisqualified(e.round, c.rank, now)
+			}
 		} else {
 			e.notarized[c.h] = true
 			e.rankShared[c.rank] = true

@@ -53,6 +53,12 @@ func ObservedHooks(ob *obs.Observer, base Hooks) Hooks {
 				base.OnFinishRound(k, now)
 			}
 		},
+		OnRankDisqualified: func(k types.Round, rank types.Rank, now time.Duration) {
+			ob.RankDisqualified(uint64(k), int(rank), now)
+			if base.OnRankDisqualified != nil {
+				base.OnRankDisqualified(k, rank, now)
+			}
+		},
 		OnCommit: func(b *types.Block, now time.Duration) {
 			ob.Commit(uint64(b.Round), len(b.Payload), now)
 			if base.OnCommit != nil {

@@ -47,6 +47,9 @@ var (
 	ErrDuplicate = errors.New("gateway: duplicate (client, seq) command")
 	// ErrTooLarge: the command can never fit in a block payload.
 	ErrTooLarge = errors.New("gateway: command exceeds payload bound")
+	// ErrInvalidSkew: LoadOptions.Skew is outside rand.NewZipf's domain
+	// (s must be > 1, or exactly 0 for uniform keys).
+	ErrInvalidSkew = errors.New("gateway: invalid Zipf skew")
 )
 
 // DefaultMaxBacklog bounds a replica's pending backlog (commands

@@ -32,11 +32,17 @@ type LoadOptions struct {
 	Keys int
 	// Skew is the Zipf s parameter shaping key popularity: 0 = uniform,
 	// values > 1 concentrate traffic on few hot keys (1.2 is a typical
-	// web-cache skew).
+	// web-cache skew). Values in (0, 1] are outside rand.NewZipf's
+	// domain (it requires s > 1) and are rejected with ErrInvalidSkew —
+	// they used to fall back to uniform silently, reporting hot-key
+	// latency numbers that were actually uniform-load numbers.
 	Skew float64
 	// ValueBytes sizes each written value (default 64).
 	ValueBytes int
-	// Seed makes the key sequence reproducible (default 1).
+	// Seed makes the key sequence reproducible. It is used verbatim — 0
+	// is a valid seed, not a request for a default (it used to be
+	// silently remapped to 1, so "seed 0" runs were unknowingly "seed 1"
+	// runs).
 	Seed int64
 }
 
@@ -75,11 +81,11 @@ func RunLoad(ctx context.Context, gws []*Gateway, o LoadOptions) (*LoadReport, e
 	if o.ValueBytes <= 0 {
 		o.ValueBytes = 64
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
 	if o.ClientBase == 0 {
 		o.ClientBase = 1
+	}
+	if o.Skew != 0 && o.Skew <= 1 {
+		return nil, fmt.Errorf("%w: %v (rand.NewZipf requires s > 1; use 0 for uniform)", ErrInvalidSkew, o.Skew)
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	nextKey := func() int { return rng.Intn(o.Keys) }

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -110,5 +111,39 @@ func TestRunLoadValidation(t *testing.T) {
 	}
 	if _, err := RunLoad(context.Background(), nil, LoadOptions{Rate: 1, Duration: time.Millisecond}); err == nil {
 		t.Fatal("empty gateway set accepted")
+	}
+	// Skew in (0, 1] is outside rand.NewZipf's domain; it used to fall
+	// back to uniform keys silently.
+	for _, skew := range []float64{0.5, 1.0, -0.3} {
+		_, err := RunLoad(context.Background(), []*Gateway{p.gw}, LoadOptions{
+			Rate: 1, Duration: time.Millisecond, Skew: skew,
+		})
+		if !errors.Is(err, ErrInvalidSkew) {
+			t.Fatalf("skew %v: got %v, want ErrInvalidSkew", skew, err)
+		}
+	}
+}
+
+func TestRunLoadSeedUsedVerbatim(t *testing.T) {
+	// Seed 0 must be a distinct stream, not a silent alias of seed 1:
+	// two otherwise identical runs on separate clusters must leave
+	// different replicated states.
+	stateFor := func(seed int64) string {
+		parties := []*harness{newHarness(t, Options{Party: 0})}
+		autoCommitter(t, parties, time.Millisecond)
+		rep, err := RunLoad(context.Background(), []*Gateway{parties[0].gw}, LoadOptions{
+			Rate: 400, Duration: 50 * time.Millisecond, Keys: 1 << 16, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Submitted == 0 {
+			t.Fatal("no commands submitted")
+		}
+		h := parties[0].kv.StateHash()
+		return string(h[:])
+	}
+	if stateFor(0) == stateFor(1) {
+		t.Fatal("seed 0 produced the same command stream as seed 1 (still remapped?)")
 	}
 }

@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"icc/internal/simnet"
+	"icc/internal/types"
+)
+
+// chaosOptions is the shared small-cluster campaign configuration: n = 4
+// (t = 1, quorum n−t = 3) keeps runs fast enough for -race.
+func chaosOptions(t *testing.T) CampaignOptions {
+	t.Helper()
+	return CampaignOptions{
+		Seeds:      []int64{1, 2},
+		SimTime:    6 * time.Second,
+		MinCommits: 5,
+		MaxStall:   4 * time.Second,
+		TraceDir:   t.TempDir(),
+	}
+}
+
+// TestChaosCampaign sweeps the adversary matrix at n = 4: every profile
+// with at most t Byzantine parties must preserve safety and liveness,
+// and the over-threshold control profile must stall finalization. This
+// is the `make chaos` entry point.
+func TestChaosCampaign(t *testing.T) {
+	profiles := []Profile{
+		{
+			Name: "equivocator", N: 4,
+			Behaviors: map[types.PartyID]Behavior{0: Equivocator},
+		},
+		{
+			Name: "withhold-notar-t", N: 4,
+			Behaviors: map[types.PartyID]Behavior{0: WithholdNotar},
+		},
+		{
+			Name: "withhold-final-t", N: 4,
+			Behaviors: map[types.PartyID]Behavior{0: WithholdFinal},
+		},
+		{
+			Name: "clock-skew", N: 4,
+			Behaviors: map[types.PartyID]Behavior{0: ClockSkewed, 1: ClockSkewed},
+			Tuning: map[types.PartyID]BehaviorTuning{
+				0: {Skew: 250 * time.Millisecond},
+				1: {Skew: -250 * time.Millisecond},
+			},
+		},
+		{
+			Name: "rank-collusion", N: 4,
+			Behaviors: map[types.PartyID]Behavior{0: RankAbuser},
+		},
+		{
+			Name: "withhold-final-t1-stall", N: 4,
+			Behaviors:   map[types.PartyID]Behavior{0: WithholdFinal, 1: WithholdFinal},
+			ExpectStall: true,
+		},
+	}
+	rep, err := RunCampaign(profiles, chaosOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Runs {
+		if r.Failure != "" {
+			t.Errorf("%s seed %d: %s (replay: go test -run TestReplay, trace %s)", r.Profile, r.Seed, r.Failure, r.TracePath)
+		}
+	}
+}
+
+// TestWithholdExactlyTStillFinalizes pins the finalization quorum at its
+// threshold boundary from below: with n = 4 and t = 1, one withheld
+// finalization share leaves the n−t = 3 quorum reachable, so liveness
+// must hold untouched.
+func TestWithholdExactlyTStillFinalizes(t *testing.T) {
+	c, err := New(Options{
+		N: 4, Seed: 71, Delay: simnet.Uniform{Min: 5 * time.Millisecond, Max: 15 * time.Millisecond},
+		SimBeacon: true, KeyRand: newDetReader(71),
+		Behaviors: map[types.PartyID]Behavior{0: WithholdFinal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if !c.RunUntilCommitted(8, 10*time.Second) {
+		t.Fatalf("t withholders must not break liveness: honest parties committed %d blocks", c.MinCommitted(c.HonestParties()))
+	}
+	if err := c.CheckSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithholdTPlusOneStallsThenRecovers crosses the boundary from
+// above: two withholders (t+1) make the finalization quorum unreachable
+// — no commit can happen — until one rejoins, after which finalizing any
+// later round commits the whole stalled prefix in one burst (Fig. 2's
+// chain commit).
+func TestWithholdTPlusOneStallsThenRecovers(t *testing.T) {
+	const rejoin = 3 * time.Second
+	c, err := New(Options{
+		N: 4, Seed: 72, Delay: simnet.Uniform{Min: 5 * time.Millisecond, Max: 15 * time.Millisecond},
+		SimBeacon: true, KeyRand: newDetReader(72),
+		Behaviors: map[types.PartyID]Behavior{0: WithholdFinal, 1: WithholdFinal},
+		Tuning:    map[types.PartyID]BehaviorTuning{1: {Until: rejoin}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	honest := c.HonestParties()
+
+	// Phase 1: while both withhold, finalization is impossible — only 2
+	// of the required 3 shares exist anywhere.
+	c.Net.Run(rejoin - 200*time.Millisecond)
+	if got := c.MinCommitted(honest); got != 0 {
+		t.Fatalf("with t+1 withholders, committed %d blocks before the rejoin", got)
+	}
+
+	// Phase 2: party 1 rejoins at 3s; commits must resume and recover
+	// the stalled prefix.
+	if !c.RunUntilCommitted(8, 12*time.Second) {
+		t.Fatalf("after rejoin, honest parties only committed %d blocks", c.MinCommitted(honest))
+	}
+	if err := c.CheckSafety(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovery must include rounds finalized-by-prefix: the first
+	// committed block predates the rejoin burst.
+	times := c.CommittedAt(honest[0])
+	blocks := c.Committed(honest[0])
+	if len(blocks) == 0 || times[0] < rejoin {
+		t.Fatalf("unexpected commit timeline: first commit at %v", times[0])
+	}
+	if blocks[0].Round >= blocks[len(blocks)-1].Round && len(blocks) > 1 {
+		t.Fatal("commit burst did not recover a chain prefix")
+	}
+}
+
+// TestCampaignFailureReplaysByteIdentical is the replay acceptance
+// criterion: an injected failure (t+1 withholders against a liveness
+// expectation) records a trace that re-executes to a byte-identical
+// event stream with the same verdict.
+func TestCampaignFailureReplaysByteIdentical(t *testing.T) {
+	failing := Profile{
+		Name: "injected-liveness-failure", N: 4,
+		Behaviors: map[types.PartyID]Behavior{0: WithholdFinal, 1: WithholdFinal},
+		// ExpectStall deliberately left false: the stall becomes a
+		// liveness failure, which is the artifact under test.
+	}
+	o := chaosOptions(t)
+	o.Seeds = []int64{42}
+	o.SimTime = 4 * time.Second
+
+	rep, err := RunCampaign([]Profile{failing}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 1 || rep.Runs[0].TracePath == "" {
+		t.Fatalf("expected exactly one failing run with a trace, got %+v", rep.Runs)
+	}
+	if !strings.HasPrefix(rep.Runs[0].Failure, "liveness:") {
+		t.Fatalf("unexpected failure class: %s", rep.Runs[0].Failure)
+	}
+
+	replay, err := ReplayTrace(rep.Runs[0].TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Reproduced {
+		t.Fatalf("failure did not reproduce: recorded %q, replay %q", replay.RecordedFailure, replay.ReplayFailure)
+	}
+	if !replay.ByteIdentical {
+		t.Fatalf("replay diverged from recorded trace at line %d", replay.DivergeLine)
+	}
+}
+
+// TestReplayRefusesTruncatedTrace is the ring-overflow audit: a trace
+// whose ring dropped events must be refused loudly, not replayed from
+// partial history.
+func TestReplayRefusesTruncatedTrace(t *testing.T) {
+	failing := Profile{
+		Name: "truncated", N: 4,
+		Behaviors: map[types.PartyID]Behavior{0: WithholdFinal, 1: WithholdFinal},
+	}
+	o := chaosOptions(t)
+	o.Seeds = []int64{42}
+	o.SimTime = 4 * time.Second
+	o.TraceCap = 64 // far below the run's event count: the ring wraps
+
+	path, err := WriteFailureTrace(failing, 42, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayTrace(path); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated trace accepted for replay: err = %v", err)
+	}
+}
+
+// TestShrinkerMinimizes is the shrinker acceptance criterion: a failing
+// campaign cell with extra, irrelevant Byzantine roles shrinks to the
+// minimal set that still fails — the two finalization withholders that
+// form t+1 at n = 4.
+func TestShrinkerMinimizes(t *testing.T) {
+	bloated := Profile{
+		Name: "bloated", N: 4,
+		Behaviors: map[types.PartyID]Behavior{
+			0: WithholdFinal,
+			1: WithholdFinal,
+			2: ClockSkewed, // irrelevant to the failure
+		},
+		Tuning: map[types.PartyID]BehaviorTuning{2: {Skew: 200 * time.Millisecond}},
+	}
+	o := chaosOptions(t)
+	o.Seeds = []int64{42}
+	o.SimTime = 4 * time.Second
+
+	res, err := Shrink(bloated, 42, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profile.Behaviors) > 2 {
+		t.Fatalf("shrinker kept %d behaviors, want ≤ 2: %v", len(res.Profile.Behaviors), res.Profile.Behaviors)
+	}
+	for pid, b := range res.Profile.Behaviors {
+		if b != WithholdFinal {
+			t.Fatalf("shrinker kept irrelevant behavior %v for party %d", b, pid)
+		}
+	}
+	if res.Failure == "" {
+		t.Fatal("shrunk profile no longer fails")
+	}
+}
+
+// TestBehaviorRoundTrip pins the campaign metadata encoding: behaviours
+// and tunings survive encode/decode, which replay correctness rests on.
+func TestBehaviorRoundTrip(t *testing.T) {
+	p := Profile{
+		N: 7,
+		Behaviors: map[types.PartyID]Behavior{
+			0: Equivocator, 2: WithholdFinal, 3: ClockSkewed, 5: RankAbuser,
+		},
+		Tuning: map[types.PartyID]BehaviorTuning{
+			2: {Until: 3 * time.Second},
+			3: {Skew: -250 * time.Millisecond},
+			5: {ShareDelay: 40 * time.Millisecond},
+		},
+	}
+	enc := encodeBehaviors(p)
+	behaviors, tuning, err := decodeBehaviors(enc)
+	if err != nil {
+		t.Fatalf("decode(%q): %v", enc, err)
+	}
+	if len(behaviors) != len(p.Behaviors) || len(tuning) != len(p.Tuning) {
+		t.Fatalf("round trip changed cardinality: %v / %v", behaviors, tuning)
+	}
+	for pid, b := range p.Behaviors {
+		if behaviors[pid] != b {
+			t.Fatalf("party %d: %v != %v", pid, behaviors[pid], b)
+		}
+	}
+	for pid, tu := range p.Tuning {
+		if tuning[pid] != tu {
+			t.Fatalf("party %d tuning: %+v != %+v", pid, tuning[pid], tu)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package harness
 import (
 	"crypto/rand"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -29,12 +30,62 @@ type Behavior int
 
 // Supported behaviours.
 const (
-	Honest       Behavior = iota + 1
-	Crash                 // silent from birth
-	SilentLeader          // honest except never proposes
-	LazyVoter             // honest except never contributes shares
-	Equivocator           // proposes conflicting blocks to different halves
+	Honest        Behavior = iota + 1
+	Crash                  // silent from birth
+	SilentLeader           // honest except never proposes
+	LazyVoter              // honest except never contributes shares
+	Equivocator            // forks blocks AND notarization shares to different halves
+	WithholdNotar          // honest except withholds its own notarization shares
+	WithholdFinal          // honest except withholds its own finalization shares
+	ClockSkewed            // honest, but runs against a skewed local clock
+	RankAbuser             // colluding cartel member abusing the rank permutation
 )
+
+// behaviorNames is the canonical Behavior <-> string mapping, used by the
+// campaign driver to persist behaviour sets in trace headers.
+var behaviorNames = map[Behavior]string{
+	Honest:        "honest",
+	Crash:         "crash",
+	SilentLeader:  "silent_leader",
+	LazyVoter:     "lazy_voter",
+	Equivocator:   "equivocator",
+	WithholdNotar: "withhold_notar",
+	WithholdFinal: "withhold_final",
+	ClockSkewed:   "clock_skewed",
+	RankAbuser:    "rank_abuser",
+}
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	if s, ok := behaviorNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("Behavior(%d)", int(b))
+}
+
+// ParseBehavior inverts Behavior.String.
+func ParseBehavior(s string) (Behavior, error) {
+	for b, name := range behaviorNames {
+		if name == s {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown behavior %q", s)
+}
+
+// BehaviorTuning carries the per-party knobs of the time-dependent
+// behaviours; the zero value selects sensible defaults.
+type BehaviorTuning struct {
+	// Until is when a WithholdNotar/WithholdFinal party rejoins and
+	// shares normally again (0 = withholds for the whole run).
+	Until time.Duration
+	// Skew is a ClockSkewed party's clock offset (0 defaults to
+	// 2×DeltaBound ahead — enough to open its Δprop/Δntry windows early).
+	Skew time.Duration
+	// ShareDelay is how long a RankAbuser sits on its own notarization
+	// shares for non-cartel proposals (0 defaults to DeltaBound).
+	ShareDelay time.Duration
+}
 
 // Mode selects the dissemination variant.
 type Mode int
@@ -88,6 +139,21 @@ type Options struct {
 
 	// Behaviors assigns non-honest roles; unlisted parties are honest.
 	Behaviors map[types.PartyID]Behavior
+	// Tuning adjusts the time-dependent behaviours per party (rejoin
+	// times, clock offsets, share delays); missing entries use defaults.
+	Tuning map[types.PartyID]BehaviorTuning
+
+	// KeyRand, if non-nil, replaces crypto/rand for key dealing — the
+	// campaign driver passes a seeded deterministic reader so a replayed
+	// run deals byte-identical keys and the trace reproduces exactly
+	// across processes.
+	KeyRand io.Reader
+
+	// Trace, if non-nil, records the deterministic execution record of
+	// the run: every simulator-level delivery and tick, every commit
+	// (with block hash) and every rank disqualification. The campaign
+	// driver byte-compares these streams to validate failure replay.
+	Trace *obs.Tracer
 
 	Mode Mode
 	// GossipFanout bounds each party's gossip neighbourhood (ICC1).
@@ -165,7 +231,11 @@ func New(opts Options) (*Cluster, error) {
 	if scheme == 0 {
 		scheme = aggsig.SchemeMultisig
 	}
-	pub, privs, err := keys.DealScheme(rand.Reader, opts.N, scheme)
+	keyRand := opts.KeyRand
+	if keyRand == nil {
+		keyRand = rand.Reader
+	}
+	pub, privs, err := keys.DealScheme(keyRand, opts.N, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("harness: dealing keys: %w", err)
 	}
@@ -178,7 +248,31 @@ func New(opts Options) (*Cluster, error) {
 		committed:   make([][]*types.Block, opts.N),
 		committedAt: make([][]time.Duration, opts.N),
 	}
-	c.Net = simnet.New(simnet.Options{Seed: opts.Seed, Delay: opts.Delay, Recorder: c.Rec})
+	simOpts := simnet.Options{Seed: opts.Seed, Delay: opts.Delay, Recorder: c.Rec}
+	if opts.Trace != nil {
+		tr := opts.Trace
+		simOpts.Trace = func(ev simnet.TraceEvent) {
+			e := obs.Event{VT: ev.At, Party: int(ev.Party), Round: ev.Step}
+			if ev.Kind == "tick" {
+				e.Kind = obs.KindSimTick
+			} else {
+				e.Kind = obs.KindSimDeliver
+				e.Detail = fmt.Sprintf("from=%d msg=%d size=%d", ev.From, ev.Msg, ev.Size)
+			}
+			tr.Record(e)
+		}
+	}
+	c.Net = simnet.New(simOpts)
+
+	// Every RankAbuser shares one cartel roster so members recognise each
+	// other's proposals.
+	var cartelMembers []types.PartyID
+	for i := 0; i < opts.N; i++ {
+		if opts.Behaviors[types.PartyID(i)] == RankAbuser {
+			cartelMembers = append(cartelMembers, types.PartyID(i))
+		}
+	}
+	cartel := adversary.NewCollusion(cartelMembers...)
 
 	for i := 0; i < opts.N; i++ {
 		pid := types.PartyID(i)
@@ -200,7 +294,27 @@ func New(opts Options) (*Cluster, error) {
 		case LazyVoter:
 			eng = adversary.NewLazyVoter(inner)
 		case Equivocator:
-			eng = adversary.NewEquivocator(inner, opts.N, privs[i].Auth)
+			eng = adversary.NewEquivocator(inner, opts.N, privs[i])
+		case WithholdNotar:
+			eng = adversary.NewShareWithholder(inner, adversary.WithholdOptions{
+				Notar: true, Until: opts.Tuning[pid].Until,
+			})
+		case WithholdFinal:
+			eng = adversary.NewShareWithholder(inner, adversary.WithholdOptions{
+				Final: true, Until: opts.Tuning[pid].Until,
+			})
+		case ClockSkewed:
+			skew := opts.Tuning[pid].Skew
+			if skew == 0 {
+				skew = 2 * opts.DeltaBound
+			}
+			eng = adversary.NewClockSkew(inner, skew)
+		case RankAbuser:
+			delay := opts.Tuning[pid].ShareDelay
+			if delay == 0 {
+				delay = opts.DeltaBound
+			}
+			eng = adversary.NewRankAbuser(inner, cartel, delay)
 		}
 		eng, err = c.wrapDissemination(pid, eng)
 		if err != nil {
@@ -243,6 +357,21 @@ func (c *Cluster) engineConfig(pid types.PartyID) core.Config {
 				c.committedAt[pid] = append(c.committedAt[pid], now)
 				c.mu.Unlock()
 				c.Rec.Commit(b.Round, len(b.Payload), now)
+				if c.Opts.Trace != nil {
+					h := b.Hash()
+					c.Opts.Trace.Record(obs.Event{
+						VT: now, Party: int(pid), Kind: obs.KindCommitted,
+						Round: uint64(b.Round), Detail: fmt.Sprintf("hash=%x", h[:8]),
+					})
+				}
+			},
+			OnRankDisqualified: func(k types.Round, rank types.Rank, now time.Duration) {
+				if c.Opts.Trace != nil {
+					c.Opts.Trace.Record(obs.Event{
+						VT: now, Party: int(pid), Kind: obs.KindRankDisq,
+						Round: uint64(k), Detail: fmt.Sprintf("rank=%d", rank),
+					})
+				}
 			},
 			OnPropose:     func(k types.Round, now time.Duration) { c.Rec.Propose(k, now) },
 			OnEnterRound:  func(k types.Round, now time.Duration) { c.Rec.EnterRound(k, now) },

@@ -79,9 +79,17 @@ func TestHandlerTrace(t *testing.T) {
 	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("content type %q", ct)
 	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want header + 1 event: %s", len(lines), body)
+	}
+	var hd Header
+	if err := json.Unmarshal([]byte(lines[0]), &hd); err != nil || !hd.TraceHeader {
+		t.Fatalf("first trace line is not a header: %v (%s)", err, lines[0])
+	}
 	var e Event
-	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &e); err != nil {
-		t.Fatalf("trace line not JSON: %v (%s)", err, body)
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("trace line not JSON: %v (%s)", err, lines[1])
 	}
 	if e.Kind != KindCommitted || e.Round != 3 {
 		t.Fatalf("trace event: %+v", e)

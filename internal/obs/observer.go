@@ -104,6 +104,7 @@ type Observer struct {
 	backfillDefer  *Counter
 	msgsReceived   *Counter
 	ticks          *Counter
+	ranksDisq      *Counter
 	rejects        *CounterVec
 	ckptCreated    *Counter
 	ckptInstalled  *Counter
@@ -161,6 +162,7 @@ func NewObserver(cfg ObserverConfig) *Observer {
 		backfillDefer:  reg.Counter("icc_resync_backfill_rounds_deferred_total", "Catch-up share rounds handed to the async backfill worker."),
 		msgsReceived:   reg.Counter("icc_runtime_messages_received_total", "Messages delivered to the engine event loop."),
 		ticks:          reg.Counter("icc_runtime_ticks_total", "Timer ticks delivered to the engine event loop."),
+		ranksDisq:      reg.Counter("icc_ranks_disqualified_total", "Proposer ranks disqualified for equivocation (Fig. 1 clause (c))."),
 		rejects:        reg.CounterVec("icc_verify_rejects_total", "Inbound artifacts rejected at admission, by reason.", "reason"),
 		ckptCreated:    reg.Counter("icc_checkpoint_created_total", "Certified checkpoints this node assembled (own share plus t matching peer shares)."),
 		ckptInstalled:  reg.Counter("icc_checkpoint_installed_total", "Certified checkpoints installed from peers (behind-horizon restores)."),
@@ -343,6 +345,17 @@ func (o *Observer) ResyncLost(gap uint64, now time.Duration) {
 	}
 	o.resyncLost.Inc()
 	o.trace(KindResyncLost, 0, strconv.FormatUint(gap, 10)+" rounds behind the frontier")
+}
+
+// RankDisqualified records clause (c) disqualifying a proposer rank:
+// this node saw two distinct valid blocks of one rank — proof the
+// proposer equivocated (the adversary campaign's detection signal).
+func (o *Observer) RankDisqualified(k uint64, rank int, now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ranksDisq.Inc()
+	o.trace(KindRankDisq, k, "rank "+strconv.Itoa(rank))
 }
 
 // RejectedMessage records one inbound artifact failing admission,

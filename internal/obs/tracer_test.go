@@ -51,19 +51,83 @@ func TestTracerWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d JSONL lines, want 2: %q", len(lines), b.String())
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want header + 2 events: %q", len(lines), b.String())
+	}
+	var h Header
+	if err := json.Unmarshal([]byte(lines[0]), &h); err != nil || !h.TraceHeader {
+		t.Fatalf("line 0 is not a trace header: %v (%s)", err, lines[0])
+	}
+	if h.Total != 2 || h.Retained != 2 || h.Dropped != 0 || h.Cap != 8 {
+		t.Fatalf("header accounting wrong: %+v", h)
 	}
 	var e Event
-	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
-		t.Fatalf("line 0 not valid JSON: %v", err)
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
 	}
 	if e.Party != 1 || e.Kind != KindCommitted || e.Round != 5 || e.Detail != "64 payload bytes" {
 		t.Fatalf("round-tripped event wrong: %+v", e)
 	}
 	// Round omitted when zero.
-	if strings.Contains(lines[1], `"round"`) {
-		t.Fatalf("zero round serialised: %s", lines[1])
+	if strings.Contains(lines[2], `"round"`) {
+		t.Fatalf("zero round serialised: %s", lines[2])
+	}
+}
+
+func TestTracerHeaderCountsDrops(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Party: i, Kind: KindRoundEntered})
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONLMeta(&b, map[string]string{"seed": "42"}); err != nil {
+		t.Fatal(err)
+	}
+	h, events, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 10 || h.Retained != 4 || h.Dropped != 6 || h.Cap != 4 {
+		t.Fatalf("header accounting wrong after wrap: %+v", h)
+	}
+	if h.Meta["seed"] != "42" {
+		t.Fatalf("meta lost: %+v", h.Meta)
+	}
+	if len(events) != 4 || events[0].Party != 6 {
+		t.Fatalf("retained window wrong: %+v", events)
+	}
+}
+
+func TestReadJSONLRejectsHeaderlessDump(t *testing.T) {
+	raw := `{"wall":"0001-01-01T00:00:00Z","party":1,"kind":"committed"}` + "\n"
+	if _, _, err := ReadJSONL(strings.NewReader(raw)); err == nil {
+		t.Fatal("headerless trace accepted")
+	}
+	if _, _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestTracerDisableWallStampIsDeterministic(t *testing.T) {
+	dump := func() string {
+		tr := NewTracer(8)
+		tr.DisableWallStamp()
+		tr.Record(Event{VT: time.Second, Party: 0, Kind: KindSimTick})
+		tr.Record(Event{VT: 2 * time.Second, Party: 1, Kind: KindSimDeliver, Detail: "from=0"})
+		var b strings.Builder
+		if err := tr.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if dump() != dump() {
+		t.Fatal("deterministic-mode dumps differ between identical runs")
+	}
+	if strings.Contains(dump(), time.Now().UTC().Format("2006")) {
+		t.Fatal("wall clock leaked into a deterministic trace")
 	}
 }
 

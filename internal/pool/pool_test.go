@@ -408,6 +408,52 @@ func TestShareRoundMismatchRejected(t *testing.T) {
 	}
 }
 
+func TestEquivocatingSharesStayContainedPerBlock(t *testing.T) {
+	// A Byzantine party that signs notarization shares for two distinct
+	// blocks of the same (round, proposer) — the share-layer face of an
+	// equivocating proposer. The pool must keep the conflict contained:
+	// each share counts only toward the block hash it names, so neither
+	// fork can borrow the other's signers to reach quorum.
+	f := newFixture(t, 4)
+	a := f.block(1, 0, f.pool.RootHash(), "original")
+	b := f.block(1, 0, f.pool.RootHash(), "twin")
+	f.pool.AddBlock(a)
+	f.pool.AddBlock(b)
+
+	// Party 0 (the equivocator) signs both forks; both are internally
+	// valid shares and both are admitted — under their own hashes.
+	if !added(f.pool.AddNotarizationShare(f.nshare(a, 0))) {
+		t.Fatal("share on fork A rejected")
+	}
+	if !added(f.pool.AddNotarizationShare(f.nshare(b, 0))) {
+		t.Fatal("share on fork B rejected")
+	}
+	if got := f.pool.NotarShareCount(a.Hash()); got != 1 {
+		t.Fatalf("fork A share count = %d, want 1", got)
+	}
+	if got := f.pool.NotarShareCount(b.Hash()); got != 1 {
+		t.Fatalf("fork B share count = %d, want 1", got)
+	}
+
+	// Honest signers 1 and 2 only vote for fork A. Fork A reaches the
+	// n−t = 3 quorum; fork B stays at the equivocator's lone share.
+	f.pool.AddNotarizationShare(f.nshare(a, 1))
+	f.pool.AddNotarizationShare(f.nshare(a, 2))
+	if _, ok := f.pool.NotarAggregateIfReady(a.Hash()); !ok {
+		t.Fatal("fork A should combine with 3 shares")
+	}
+	if _, ok := f.pool.NotarAggregateIfReady(b.Hash()); ok {
+		t.Fatal("fork B combined from 1 share: conflicting shares leaked across hashes")
+	}
+	// And a cross-fork replay — fork A's share bytes relabelled with fork
+	// B's hash — fails signature verification.
+	forged := f.nshare(a, 1)
+	forged.BlockHash = b.Hash()
+	if ok, err := f.pool.AddNotarizationShare(forged); ok || err == nil {
+		t.Fatalf("relabelled share admitted (ok=%v err=%v)", ok, err)
+	}
+}
+
 func TestReadyIndices(t *testing.T) {
 	f := newFixture(t, 4) // threshold n−t = 3
 	b := f.block(1, 0, f.pool.RootHash(), "x")

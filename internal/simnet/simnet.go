@@ -56,11 +56,30 @@ type node struct {
 	queued []func()
 }
 
+// TraceEvent is one observable step of a simulation: a message delivery
+// into an engine or a timer tick firing. The stream of TraceEvents is a
+// pure function of (seed, topology, delay model, engine code), so two
+// runs with identical configuration produce identical streams — the
+// property the adversary campaign's failure-replay machinery checks
+// byte-for-byte.
+type TraceEvent struct {
+	At    time.Duration // virtual time of the step
+	Step  uint64        // 1-based ordinal among traced steps
+	Kind  string        // "deliver" or "tick"
+	Party types.PartyID // acting (receiving/ticking) party
+	From  types.PartyID // sender, for deliveries
+	Msg   types.Kind    // message kind, for deliveries
+	Size  int           // marshalled message size, for deliveries
+}
+
 // Options configures a Network.
 type Options struct {
 	Seed     int64
 	Delay    DelayModel
 	Recorder *metrics.Recorder // optional
+	// Trace, if non-nil, observes every delivery and tick as it executes
+	// (after crash/partition gating, immediately before the engine call).
+	Trace func(TraceEvent)
 }
 
 // Network is a simulated network of consensus engines.
@@ -68,6 +87,8 @@ type Network struct {
 	rng   *rand.Rand
 	delay DelayModel
 	rec   *metrics.Recorder
+	trace func(TraceEvent)
+	steps uint64
 
 	queue eventQueue
 	seq   uint64
@@ -85,6 +106,7 @@ func New(opts Options) *Network {
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		delay: opts.Delay,
 		rec:   opts.Recorder,
+		trace: opts.Trace,
 	}
 }
 
@@ -211,6 +233,13 @@ func (nw *Network) deliver(from, to *node, msg types.Message, size int) {
 			to.queued = append(to.queued, apply)
 			return
 		}
+		if nw.trace != nil {
+			nw.steps++
+			nw.trace(TraceEvent{
+				At: nw.now, Step: nw.steps, Kind: "deliver",
+				Party: to.eng.ID(), From: sender, Msg: msg.Kind(), Size: size,
+			})
+		}
 		outs := to.eng.HandleMessage(sender, msg, nw.now)
 		nw.dispatch(to, outs)
 		nw.rearm(to)
@@ -232,6 +261,10 @@ func (nw *Network) rearm(nd *node) {
 	nw.schedule(at, func() {
 		if nd.crashed || nd.partitioned || nd.wakeSeq != mySeq {
 			return
+		}
+		if nw.trace != nil {
+			nw.steps++
+			nw.trace(TraceEvent{At: nw.now, Step: nw.steps, Kind: "tick", Party: nd.eng.ID()})
 		}
 		outs := nd.eng.Tick(nw.now)
 		nw.dispatch(nd, outs)
